@@ -1,0 +1,228 @@
+package quicksand
+
+// One benchmark per paper artifact. Each bench measures the full
+// regeneration of its table or figure from the prebuilt world/stream
+// (world construction and the month simulation are amortised in a
+// sync.Once and benchmarked separately as BenchmarkBuildWorld and
+// BenchmarkSimulateMonth).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/analysis"
+	"quicksand/internal/bgpsim"
+	"quicksand/internal/tcpsim"
+)
+
+var benchOnce sync.Once
+var benchWorld *World
+var benchStream *bgpsim.Stream
+
+func benchSetup(b *testing.B) (*World, *bgpsim.Stream) {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := BuildWorld(SmallWorldConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := w.SimulateMonth(SmallMonthConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorld, benchStream = w, st
+	})
+	if benchWorld == nil {
+		b.Fatal("bench setup failed earlier")
+	}
+	return benchWorld, benchStream
+}
+
+// BenchmarkBuildWorld measures synthetic-Internet construction (topology,
+// consensus, origination table, RIB).
+func BenchmarkBuildWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildWorld(SmallWorldConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateMonth measures the BGP churn simulation feeding F3L,
+// F3R and E5.
+func BenchmarkSimulateMonth(b *testing.B) {
+	w, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.SimulateMonth(SmallMonthConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1DatasetStats regenerates the §4 methodology table.
+func BenchmarkE1DatasetStats(b *testing.B) {
+	w, st := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunDataset(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Left regenerates the AS-concentration curve.
+func BenchmarkFig2Left(b *testing.B) {
+	w, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w.RunFig2Left(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Right regenerates the four-segment byte series (a 2 MB
+// download per iteration, captures parsed from raw headers).
+func BenchmarkFig2Right(b *testing.B) {
+	cfg := tcpsim.DefaultConfig()
+	cfg.FileSize = 2 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig2Right(cfg, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Left regenerates the path-change ratio CCDF with the
+// archive-grade reset heuristic.
+func BenchmarkFig3Left(b *testing.B) {
+	w, st := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunFig3Left(st, analysis.FilterHeuristic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Right regenerates the extra-AS exposure CCDF.
+func BenchmarkFig3Right(b *testing.B) {
+	w, st := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunFig3Right(st, 5*time.Minute, analysis.FilterHeuristic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2AnonymityModel regenerates the §3.1 model table.
+func BenchmarkE2AnonymityModel(b *testing.B) {
+	fs := []float64{0.01, 0.02, 0.05, 0.10}
+	xs := []int{1, 2, 4, 6, 10, 15, 20}
+	for i := 0; i < b.N; i++ {
+		if cells := RunAnonymityModel(fs, xs, 3); len(cells) == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// BenchmarkE3Hijack runs the hijack study (attackers x top prefixes).
+func BenchmarkE3Hijack(b *testing.B) {
+	w, _ := benchSetup(b)
+	cfg := DefaultHijackStudyConfig()
+	cfg.Attackers = 5
+	cfg.TopPrefixes = 2
+	cfg.ClientASes = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunHijackStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Intercept runs interception trials including the end-to-end
+// correlation attack.
+func BenchmarkE4Intercept(b *testing.B) {
+	w, _ := benchSetup(b)
+	cfg := DefaultInterceptStudyConfig()
+	cfg.Trials = 3
+	cfg.Decoys = 3
+	cfg.FileSize = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunInterceptStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Defenses evaluates the §5 countermeasures end to end.
+func BenchmarkE5Defenses(b *testing.B) {
+	w, st := benchSetup(b)
+	cfg := DefaultDefenseStudyConfig()
+	cfg.Circuits = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunDefenseStudy(st, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Convergence computes the transient-observer exposure.
+func BenchmarkE6Convergence(b *testing.B) {
+	w, st := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunConvergence(st, 5*time.Minute, analysis.FilterHeuristic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8ROV sweeps route-origin-validation deployment levels.
+func BenchmarkE8ROV(b *testing.B) {
+	w, _ := benchSetup(b)
+	cfg := DefaultROVStudyConfig()
+	cfg.Attackers = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunROVStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9LiveDetection runs the in-stream attack detection study
+// (simulates its own short attack-laden stream each iteration).
+func BenchmarkE9LiveDetection(b *testing.B) {
+	w, _ := benchSetup(b)
+	cfg := DefaultLiveDetectionConfig()
+	cfg.Attacks = 6
+	cfg.Month.Duration = cfg.Month.Duration / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunLiveDetection(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Rotation runs the longitudinal guard-lifetime study.
+func BenchmarkE7Rotation(b *testing.B) {
+	w, _ := benchSetup(b)
+	cfg := DefaultRotationStudyConfig()
+	cfg.Clients = 100
+	cfg.Months = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunRotationStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command torgen generates a synthetic Tor network-status consensus in
+// dir-spec text format, matching the July-2014 relay population the paper
+// measured, plus a prefix origination table mapping each relay-hosting
+// prefix to its origin AS.
+//
+// Usage:
+//
+//	torgen [-scale small|paper] [-seed N] [-out consensus.txt] [-prefixes prefixes.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+
+	"quicksand"
+	"quicksand/internal/bgp"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "world scale: small or paper")
+	seed := flag.Int64("seed", 1, "root seed")
+	out := flag.String("out", "consensus.txt", "consensus output file")
+	prefixes := flag.String("prefixes", "prefixes.txt", "prefix origination output file")
+	flag.Parse()
+	if err := run(*scale, *seed, *out, *prefixes); err != nil {
+		fmt.Fprintln(os.Stderr, "torgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale string, seed int64, out, prefixFile string) error {
+	cfg := quicksand.SmallWorldConfig()
+	if scale == "paper" {
+		cfg = quicksand.DefaultWorldConfig()
+	} else if scale != "small" {
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg.Seed = seed
+	cfg.Topology.Seed = seed
+	cfg.Consensus.Seed = seed
+	w, err := quicksand.BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := w.Consensus.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	pf, err := os.Create(prefixFile)
+	if err != nil {
+		return err
+	}
+	pw := bufio.NewWriter(pf)
+	type row struct {
+		p netip.Prefix
+		a bgp.ASN
+	}
+	rows := make([]row, 0, len(w.Hosting.Prefixes))
+	for p, a := range w.Hosting.Prefixes {
+		rows = append(rows, row{p, a})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p.Addr().Less(rows[j].p.Addr()) })
+	for _, r := range rows {
+		fmt.Fprintf(pw, "%s %d\n", r.p, uint32(r.a))
+	}
+	if err := pw.Flush(); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %s (%d relays) and %s (%d prefixes, %d origin ASes)\n",
+		out, len(w.Consensus.Relays), prefixFile, len(w.Hosting.Prefixes),
+		len(w.Hosting.OriginASes()))
+	return nil
+}

@@ -1,0 +1,53 @@
+// Asymcorr: the asymmetric traffic analysis demo (Figure 1b / Figure 2
+// right). A client downloads a file through a Tor circuit; we capture
+// header-only packet traces at the four segment endpoints, recover
+// cumulative byte counts from TCP sequence/ACK fields alone, and show
+// that any direction at each end suffices to correlate the flow — then
+// deanonymize the client among decoys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"quicksand"
+	"quicksand/internal/attacks"
+	"quicksand/internal/tcpsim"
+)
+
+func main() {
+	cfg := tcpsim.DefaultConfig()
+	cfg.FileSize = 8 << 20 // 8 MB for a quick demo; the paper used 40 MB
+	fmt.Printf("downloading %d MB through a simulated Tor circuit...\n\n", cfg.FileSize>>20)
+
+	res, err := quicksand.RunFig2Right(cfg, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Series
+	fmt.Println("cumulative MB recovered from TCP headers (per second):")
+	fmt.Println("t(s)  srv->exit  exit->srv(acks)  guard->cli  cli->guard(acks)")
+	for i := 0; i < len(s.ServerToExit.Cum); i++ {
+		fmt.Printf("%3d   %9.2f  %15.2f  %10.2f  %16.2f\n", i+1,
+			s.ServerToExit.Cum[i]/(1<<20), s.ExitToServer.Cum[i]/(1<<20),
+			s.GuardToClient.Cum[i]/(1<<20), s.ClientToGuard.Cum[i]/(1<<20))
+	}
+	fmt.Println("\nlag-aligned increment correlations:")
+	for name, r := range res.Correlations {
+		fmt.Printf("  %-26s %.3f\n", name, r)
+	}
+
+	// Deanonymization: the adversary sees the server-side data stream
+	// and the ACK streams of several clients behind the intercepted
+	// guard; correlation picks the right one.
+	fmt.Println("\nmatching the server-side flow against 9 candidate clients...")
+	trial, err := attacks.AsymmetricDeanonymization(attacks.AsymmetricConfig{
+		Seed: 7, Decoys: 9, FileSize: 4 << 20, Bin: 250 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true client score %.3f, best decoy %.3f -> identified: %v\n",
+		trial.TrueScore, trial.BestDecoyScore, trial.Matched)
+}

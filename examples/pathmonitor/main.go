@@ -1,0 +1,69 @@
+// Pathmonitor: the §5 control-plane feed. Simulates a stretch of BGP
+// churn, then reports — for the most churn-prone Tor prefixes — how many
+// path changes each collector session saw and which extra ASes gained a
+// look at the prefix's traffic for five minutes or more. This is the
+// information §5 proposes relays publish so clients can select paths
+// with routing dynamics in mind.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"quicksand"
+	"quicksand/internal/analysis"
+)
+
+func main() {
+	world, err := quicksand.BuildWorld(quicksand.SmallWorldConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulating BGP churn (this takes a few seconds)...")
+	stream, err := world.SimulateMonth(quicksand.SmallMonthConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %d updates on %d sessions over %v\n\n",
+		len(stream.Updates), len(stream.Sessions), stream.End.Sub(stream.Start))
+
+	// Per-Tor-prefix churn, with table transfers filtered out by the
+	// burst heuristic (as on real archives).
+	ratios, err := analysis.PathChangeRatios(stream, world.TorPrefixSet(),
+		analysis.FilterHeuristic, analysis.DefaultTransferHeuristic())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(ratios, func(i, j int) bool { return ratios[i].Ratio > ratios[j].Ratio })
+
+	fmt.Println("most churn-prone Tor prefixes (changes vs session median):")
+	seen := 0
+	for _, r := range ratios {
+		if seen >= 8 {
+			break
+		}
+		seen++
+		extra := analysis.ExtraASes(stream, r.Session, r.Prefix, 5*time.Minute,
+			analysis.FilterHeuristic, analysis.DefaultTransferHeuristic())
+		fmt.Printf("  %-18v session %2d: %4d changes (%.0fx median), %d extra ASes >=5min",
+			r.Prefix, r.Session, r.Changes, r.Ratio, len(extra))
+		if len(extra) > 0 {
+			fmt.Printf(" %v", extra)
+		}
+		fmt.Println()
+	}
+
+	// What a client should conclude: prefer guards whose prefixes stay
+	// quiet. Print the quietest decile too.
+	quiet := 0
+	for _, r := range ratios {
+		if r.Ratio <= 1 {
+			quiet++
+		}
+	}
+	fmt.Printf("\n%d of %d (prefix, session) samples stayed at or below the median —\n",
+		quiet, len(ratios))
+	fmt.Println("clients should draw guards from those prefixes first (§5).")
+}

@@ -1,0 +1,3 @@
+module quicksand
+
+go 1.22

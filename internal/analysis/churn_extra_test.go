@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpsim"
+)
+
+// craftTwoSessionStream builds a two-session stream where AS 174 appears
+// as an extra on both sessions and AS 6939 on only one.
+func craftTwoSessionStream() *bgpsim.Stream {
+	st := &bgpsim.Stream{
+		Start: t0churn,
+		End:   t0churn.Add(30 * 24 * time.Hour),
+		Sessions: []bgpsim.Session{
+			bgpsim.NewSession("rrc00", 3320, []netip.Prefix{torPfx}),
+			bgpsim.NewSession("rrc01", 174, []netip.Prefix{torPfx}),
+		},
+		Initial: map[int]map[netip.Prefix][]bgp.ASN{
+			0: {torPfx: {3320, 1299, 24940}},
+			1: {torPfx: {174, 1299, 24940}},
+		},
+	}
+	st.Updates = []bgpsim.UpdateEvent{
+		// Session 0: 174 on path for 10h (extra), 6939 for 10h (extra).
+		{Time: t0churn.Add(1 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 174, 24940}},
+		{Time: t0churn.Add(11 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 6939, 24940}},
+		{Time: t0churn.Add(21 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 1299, 24940}},
+		// Session 1: 3320 on path for 10h (extra on this session).
+		{Time: t0churn.Add(1 * time.Hour), Session: 1, Prefix: torPfx, Path: []bgp.ASN{174, 3320, 24940}},
+		{Time: t0churn.Add(11 * time.Hour), Session: 1, Prefix: torPfx, Path: []bgp.ASN{174, 1299, 24940}},
+	}
+	return st
+}
+
+func TestExtraASSessionCounts(t *testing.T) {
+	st := craftTwoSessionStream()
+	counts, err := ExtraASSessionCounts(st, map[netip.Prefix]bool{torPfx: true},
+		5*time.Minute, FilterNone, DefaultTransferHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := counts[torPfx]
+	if set[174] != 1 || set[6939] != 1 || set[3320] != 1 {
+		t.Fatalf("counts = %v", set)
+	}
+	if _, err := ExtraASSessionCounts(st, nil, 0, FilterNone, DefaultTransferHeuristic()); err == nil {
+		t.Fatal("empty prefix set accepted")
+	}
+}
+
+func TestExtraASSetsMinSessions(t *testing.T) {
+	st := craftTwoSessionStream()
+	tor := map[netip.Prefix]bool{torPfx: true}
+	// Union (minSessions=1): three extras total.
+	all, err := ExtraASSets(st, tor, 5*time.Minute, 1, FilterNone, DefaultTransferHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all[torPfx]) != 3 {
+		t.Fatalf("union = %v", all[torPfx])
+	}
+	// minSessions=2: no AS qualified on both sessions.
+	common, err := ExtraASSets(st, tor, 5*time.Minute, 2, FilterNone, DefaultTransferHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common[torPfx]) != 0 {
+		t.Fatalf("common = %v", common[torPfx])
+	}
+}
+
+func TestExtraASesPerTorPrefixPerSession(t *testing.T) {
+	st := craftTwoSessionStream()
+	counts, err := ExtraASesPerTorPrefix(st, map[netip.Prefix]bool{torPfx: true},
+		5*time.Minute, FilterNone, DefaultTransferHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample per (prefix, session) pair: two samples.
+	if len(counts) != 2 {
+		t.Fatalf("samples = %v", counts)
+	}
+	bySession := map[int]int{}
+	for _, c := range counts {
+		bySession[c.Session] = c.Extra
+	}
+	if bySession[0] != 2 || bySession[1] != 1 {
+		t.Fatalf("per-session extras = %v", bySession)
+	}
+}
+
+func TestASDwellTimes(t *testing.T) {
+	st := craftStream([]bgpsim.UpdateEvent{
+		{Time: t0churn.Add(1 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 174, 24940}},
+		{Time: t0churn.Add(3 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 1299, 24940}},
+	})
+	dwell := ASDwellTimes(st, 0, torPfx, FilterNone, DefaultTransferHeuristic())
+	if got := dwell[174]; got != 2*time.Hour {
+		t.Fatalf("dwell[174] = %v, want 2h", got)
+	}
+	// Baseline ASes never accrue dwell.
+	if _, ok := dwell[1299]; ok {
+		t.Fatal("baseline AS accrued dwell")
+	}
+	if got := ASDwellTimes(st, 0, netip.MustParsePrefix("9.0.0.0/8"), FilterNone, DefaultTransferHeuristic()); got != nil {
+		t.Fatalf("unknown prefix dwell = %v", got)
+	}
+}
+
+func TestTransientASes(t *testing.T) {
+	// AS 174: 2 minutes (transient). AS 6939: 10 hours (not transient).
+	st := craftStream([]bgpsim.UpdateEvent{
+		{Time: t0churn.Add(1 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 174, 24940}},
+		{Time: t0churn.Add(1*time.Hour + 2*time.Minute), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 6939, 24940}},
+		{Time: t0churn.Add(11 * time.Hour), Session: 0, Prefix: torPfx, Path: []bgp.ASN{3320, 1299, 24940}},
+	})
+	tr, err := TransientASes(st, map[netip.Prefix]bool{torPfx: true},
+		5*time.Minute, FilterNone, DefaultTransferHeuristic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 {
+		t.Fatalf("samples = %v", tr)
+	}
+	if tr[0].Transient != 1 {
+		t.Fatalf("transient = %d, want 1 (only AS 174)", tr[0].Transient)
+	}
+	if _, err := TransientASes(st, nil, 0, FilterNone, DefaultTransferHeuristic()); err == nil {
+		t.Fatal("empty prefix set accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package asinfer implements Gao's AS-relationship inference algorithm
+// ("On inferring autonomous system relationships in the Internet",
+// IEEE/ACM ToN 2001) — the technique behind the AS-level path simulators
+// the paper builds on (its reference [18]).
+//
+// Given a corpus of observed AS paths, the algorithm exploits the
+// valley-free property: every path climbs customer→provider links, may
+// cross one peer link at its summit, and then descends provider→customer.
+// The summit is approximated by the highest-degree AS on the path; links
+// before it vote "uphill" (left AS is the customer), links after it vote
+// "downhill". Adjacent ASes with balanced votes and comparable degrees
+// are classified as peers.
+//
+// In this repository the inference closes a fidelity loop: paths computed
+// by internal/topology's policy routing are fed back in, and the tests
+// check that the inferred relationships recover the generator's ground
+// truth.
+package asinfer
+
+import (
+	"fmt"
+	"sort"
+
+	"quicksand/internal/bgp"
+)
+
+// Rel is an inferred relationship between an ordered AS pair.
+type Rel int
+
+const (
+	// RelUnknown means the pair was observed but the evidence is
+	// contradictory or insufficient.
+	RelUnknown Rel = iota
+	// RelCustomerProvider means the first AS is a customer of the second.
+	RelCustomerProvider
+	// RelProviderCustomer means the first AS is a provider of the second.
+	RelProviderCustomer
+	// RelPeer means the ASes peer.
+	RelPeer
+)
+
+// String names the relationship.
+func (r Rel) String() string {
+	switch r {
+	case RelCustomerProvider:
+		return "customer->provider"
+	case RelProviderCustomer:
+		return "provider->customer"
+	case RelPeer:
+		return "peer"
+	}
+	return "unknown"
+}
+
+// Edge is one inferred adjacency.
+type Edge struct {
+	A, B bgp.ASN // A < B
+	Rel  Rel     // relationship of A relative to B
+}
+
+// Result holds the inference output.
+type Result struct {
+	edges map[[2]bgp.ASN]Rel
+	// Degree is the observed adjacency degree of each AS, exported for
+	// diagnostics.
+	Degree map[bgp.ASN]int
+}
+
+// Rel returns the inferred relationship of a relative to b (ok=false when
+// the pair never appeared adjacent).
+func (r *Result) Rel(a, b bgp.ASN) (Rel, bool) {
+	key, flip := orient(a, b)
+	rel, ok := r.edges[key]
+	if !ok {
+		return RelUnknown, false
+	}
+	if flip {
+		rel = invert(rel)
+	}
+	return rel, true
+}
+
+// Edges returns every inferred adjacency, ordered by AS pair.
+func (r *Result) Edges() []Edge {
+	out := make([]Edge, 0, len(r.edges))
+	for k, rel := range r.edges {
+		out = append(out, Edge{A: k[0], B: k[1], Rel: rel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func orient(a, b bgp.ASN) (key [2]bgp.ASN, flipped bool) {
+	if a <= b {
+		return [2]bgp.ASN{a, b}, false
+	}
+	return [2]bgp.ASN{b, a}, true
+}
+
+func invert(r Rel) Rel {
+	switch r {
+	case RelCustomerProvider:
+		return RelProviderCustomer
+	case RelProviderCustomer:
+		return RelCustomerProvider
+	}
+	return r
+}
+
+// Options tunes the inference.
+type Options struct {
+	// PeerDegreeRatio bounds how dissimilar two ASes' degrees may be for
+	// a balanced-vote pair to be called a peering (Gao uses R; 60 in the
+	// paper's experiments). Default 8.
+	PeerDegreeRatio float64
+}
+
+// Infer runs the algorithm over the path corpus. Each path lists ASes
+// from the vantage point toward the origin (the AS-PATH reading order).
+func Infer(paths [][]bgp.ASN, opts Options) (*Result, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("asinfer: empty path corpus")
+	}
+	if opts.PeerDegreeRatio <= 0 {
+		opts.PeerDegreeRatio = 8
+	}
+
+	// Pass 1: adjacency degrees.
+	adj := make(map[bgp.ASN]map[bgp.ASN]bool)
+	link := func(a, b bgp.ASN) {
+		if adj[a] == nil {
+			adj[a] = make(map[bgp.ASN]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] {
+				continue // prepending
+			}
+			link(p[i], p[i+1])
+			link(p[i+1], p[i])
+		}
+	}
+	degree := make(map[bgp.ASN]int, len(adj))
+	for a, s := range adj {
+		degree[a] = len(s)
+	}
+
+	// Pass 2: transit votes. For each path, the highest-degree AS is the
+	// summit; hops before it are uphill (left pays right), hops after
+	// are downhill (right pays left). Votes on the two summit-adjacent
+	// edges are tallied separately: a valley-free peering hop can ONLY
+	// occur at the summit, so an edge with exclusively summit-adjacent
+	// evidence is a peering candidate (Gao's phase-3 refinement), while
+	// interior votes are reliable transit evidence.
+	type dirTally struct {
+		xyInterior, xySummit int // evidence key[1] provides for key[0]
+		yxInterior, yxSummit int // evidence key[0] provides for key[1]
+	}
+	dir := make(map[[2]bgp.ASN]*dirTally)
+	vote := func(customer, provider bgp.ASN, atSummit bool) {
+		key, flipped := orient(customer, provider)
+		t := dir[key]
+		if t == nil {
+			t = &dirTally{}
+			dir[key] = t
+		}
+		switch {
+		case !flipped && !atSummit:
+			t.xyInterior++
+		case !flipped && atSummit:
+			t.xySummit++
+		case flipped && !atSummit:
+			t.yxInterior++
+		default:
+			t.yxSummit++
+		}
+	}
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		top := 0
+		for i := range p {
+			if degree[p[i]] > degree[p[top]] {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] {
+				continue
+			}
+			atSummit := i == top || i+1 == top
+			if i+1 <= top {
+				vote(p[i], p[i+1], atSummit) // climbing toward the summit
+			} else {
+				vote(p[i+1], p[i], atSummit) // descending after it
+			}
+		}
+	}
+
+	// Pass 3: classify each adjacency. Interior votes dominate; pairs
+	// with only summit-adjacent evidence and comparable degrees are
+	// peers.
+	res := &Result{edges: make(map[[2]bgp.ASN]Rel), Degree: degree}
+	peerish := func(x, y bgp.ASN) bool {
+		dx, dy := float64(degree[x]), float64(degree[y])
+		if dx == 0 || dy == 0 {
+			return false
+		}
+		return maxf(dx, dy)/minf(dx, dy) <= opts.PeerDegreeRatio
+	}
+	for a, neighbors := range adj {
+		for b := range neighbors {
+			key, _ := orient(a, b)
+			if _, done := res.edges[key]; done {
+				continue
+			}
+			x, y := key[0], key[1]
+			t := dir[key]
+			if t == nil {
+				t = &dirTally{}
+			}
+			var rel Rel
+			switch {
+			case t.xyInterior > 0 && t.yxInterior == 0:
+				rel = RelCustomerProvider
+			case t.yxInterior > 0 && t.xyInterior == 0:
+				rel = RelProviderCustomer
+			case t.xyInterior > 0 && t.yxInterior > 0:
+				if peerish(x, y) {
+					rel = RelPeer
+				} else {
+					rel = RelUnknown // contradictory transit (siblings)
+				}
+			default:
+				// Summit-only evidence: the hallmark of a peering hop.
+				switch {
+				case peerish(x, y):
+					rel = RelPeer
+				case t.xySummit > 0 && t.yxSummit == 0:
+					rel = RelCustomerProvider
+				case t.yxSummit > 0 && t.xySummit == 0:
+					rel = RelProviderCustomer
+				default:
+					rel = RelUnknown
+				}
+			}
+			res.edges[key] = rel
+		}
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Decoding errors. Callers match with errors.Is; detail is carried in the
+// wrapping message.
+var (
+	ErrShortMessage = errors.New("bgp: message truncated")
+	ErrBadMarker    = errors.New("bgp: bad marker")
+	ErrBadLength    = errors.New("bgp: bad message length")
+	ErrBadAttribute = errors.New("bgp: malformed path attribute")
+	ErrBadPrefix    = errors.New("bgp: malformed prefix")
+)
+
+// ParseHeader validates the 19-byte BGP message header and returns the
+// message type and the total message length (header included).
+func ParseHeader(data []byte) (msgType int, msgLen int, err error) {
+	if len(data) < HeaderLen {
+		return 0, 0, fmt.Errorf("%w: %d bytes, need %d", ErrShortMessage, len(data), HeaderLen)
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if data[i] != 0xFF {
+			return 0, 0, fmt.Errorf("%w: byte %d is %#x", ErrBadMarker, i, data[i])
+		}
+	}
+	msgLen = int(binary.BigEndian.Uint16(data[16:18]))
+	msgType = int(data[18])
+	if msgLen < HeaderLen || msgLen > MaxMessageLen {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadLength, msgLen)
+	}
+	if msgType < TypeOpen || msgType > TypeKeepalive {
+		return 0, 0, fmt.Errorf("bgp: unknown message type %d", msgType)
+	}
+	return msgType, msgLen, nil
+}
+
+// parsePrefixes decodes a run of RFC 4271 NLRI-encoded prefixes filling
+// exactly data.
+func parsePrefixes(data []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(data) > 0 {
+		bits := int(data[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: length %d bits", ErrBadPrefix, bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(data) < 1+nbytes {
+			return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrBadPrefix, 1+nbytes, len(data))
+		}
+		var b [4]byte
+		copy(b[:], data[1:1+nbytes])
+		p, err := netip.AddrFrom4(b).Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+		}
+		out = append(out, p)
+		data = data[1+nbytes:]
+	}
+	return out, nil
+}
+
+func parseASPath(data []byte, as4 bool) (ASPath, error) {
+	asLen := 2
+	if as4 {
+		asLen = 4
+	}
+	var p ASPath
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return ASPath{}, fmt.Errorf("%w: truncated AS_PATH segment header", ErrBadAttribute)
+		}
+		segType := int(data[0])
+		count := int(data[1])
+		if segType != SegmentSet && segType != SegmentSequence {
+			return ASPath{}, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
+		}
+		need := 2 + count*asLen
+		if len(data) < need {
+			return ASPath{}, fmt.Errorf("%w: AS_PATH segment needs %d bytes, have %d", ErrBadAttribute, need, len(data))
+		}
+		seg := Segment{Type: segType, ASes: make([]ASN, count)}
+		for i := 0; i < count; i++ {
+			off := 2 + i*asLen
+			if as4 {
+				seg.ASes[i] = ASN(binary.BigEndian.Uint32(data[off:]))
+			} else {
+				seg.ASes[i] = ASN(binary.BigEndian.Uint16(data[off:]))
+			}
+		}
+		p.Segments = append(p.Segments, seg)
+		data = data[need:]
+	}
+	return p, nil
+}
+
+// parseAttributes decodes the path-attributes block of an UPDATE.
+func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
+	var a PathAttributes
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return a, fmt.Errorf("%w: truncated attribute header", ErrBadAttribute)
+		}
+		flags := data[0]
+		typ := data[1]
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(data) < 4 {
+				return a, fmt.Errorf("%w: truncated extended length", ErrBadAttribute)
+			}
+			alen = int(binary.BigEndian.Uint16(data[2:4]))
+			hdr = 4
+		} else {
+			alen = int(data[2])
+			hdr = 3
+		}
+		if len(data) < hdr+alen {
+			return a, fmt.Errorf("%w: attribute %d needs %d bytes, have %d", ErrBadAttribute, typ, hdr+alen, len(data))
+		}
+		val := data[hdr : hdr+alen]
+		switch typ {
+		case AttrOrigin:
+			if alen != 1 || val[0] > OriginIncomplete {
+				return a, fmt.Errorf("%w: ORIGIN", ErrBadAttribute)
+			}
+			a.Origin = int(val[0])
+			a.HasOrigin = true
+		case AttrASPath:
+			p, err := parseASPath(val, as4)
+			if err != nil {
+				return a, err
+			}
+			a.ASPath = p
+			a.HasASPath = true
+		case AttrNextHop:
+			if alen != 4 {
+				return a, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttribute, alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+		case AttrMED:
+			if alen != 4 {
+				return a, fmt.Errorf("%w: MED length %d", ErrBadAttribute, alen)
+			}
+			a.MED = binary.BigEndian.Uint32(val)
+			a.HasMED = true
+		case AttrLocalPref:
+			if alen != 4 {
+				return a, fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadAttribute, alen)
+			}
+			a.LocalPref = binary.BigEndian.Uint32(val)
+			a.HasLocalPref = true
+		case AttrAtomicAggregate:
+			if alen != 0 {
+				return a, fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrBadAttribute, alen)
+			}
+			a.AtomicAggregate = true
+		case AttrAggregator:
+			want := 6
+			if as4 {
+				want = 8
+			}
+			if alen != want {
+				return a, fmt.Errorf("%w: AGGREGATOR length %d, want %d", ErrBadAttribute, alen, want)
+			}
+			var agg Aggregator
+			if as4 {
+				agg.ASN = ASN(binary.BigEndian.Uint32(val))
+				agg.Addr = netip.AddrFrom4([4]byte(val[4:8]))
+			} else {
+				agg.ASN = ASN(binary.BigEndian.Uint16(val))
+				agg.Addr = netip.AddrFrom4([4]byte(val[2:6]))
+			}
+			a.Aggregator = &agg
+		case AttrCommunities:
+			if alen%4 != 0 {
+				return a, fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(val[i:])))
+			}
+		default:
+			// Unknown optional attributes are tolerated (and dropped);
+			// unknown well-known attributes are an error per RFC 4271.
+			if flags&flagOptional == 0 {
+				return a, fmt.Errorf("%w: unrecognised well-known attribute %d", ErrBadAttribute, typ)
+			}
+		}
+		data = data[hdr+alen:]
+	}
+	return a, nil
+}
+
+// ParseUpdate decodes a full UPDATE message (header included). as4 must
+// match the encoding negotiated on the session.
+func ParseUpdate(data []byte, as4 bool) (*Update, error) {
+	msgType, msgLen, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != TypeUpdate {
+		return nil, fmt.Errorf("bgp: message type %d is not UPDATE", msgType)
+	}
+	if len(data) < msgLen {
+		return nil, fmt.Errorf("%w: have %d of %d bytes", ErrShortMessage, len(data), msgLen)
+	}
+	body := data[HeaderLen:msgLen]
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: no withdrawn-routes length", ErrShortMessage)
+	}
+	wlen := int(binary.BigEndian.Uint16(body[:2]))
+	if len(body) < 2+wlen+2 {
+		return nil, fmt.Errorf("%w: withdrawn routes overflow body", ErrShortMessage)
+	}
+	u := &Update{}
+	u.Withdrawn, err = parsePrefixes(body[2 : 2+wlen])
+	if err != nil {
+		return nil, err
+	}
+	alen := int(binary.BigEndian.Uint16(body[2+wlen : 4+wlen]))
+	if len(body) < 4+wlen+alen {
+		return nil, fmt.Errorf("%w: attributes overflow body", ErrShortMessage)
+	}
+	u.Attrs, err = parseAttributes(body[4+wlen:4+wlen+alen], as4)
+	if err != nil {
+		return nil, err
+	}
+	u.NLRI, err = parsePrefixes(body[4+wlen+alen:])
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// ParseOpen decodes a full OPEN message (header included).
+func ParseOpen(data []byte) (*Open, error) {
+	msgType, msgLen, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != TypeOpen {
+		return nil, fmt.Errorf("bgp: message type %d is not OPEN", msgType)
+	}
+	if len(data) < msgLen || msgLen < HeaderLen+10 {
+		return nil, fmt.Errorf("%w: OPEN body", ErrShortMessage)
+	}
+	body := data[HeaderLen:msgLen]
+	o := &Open{
+		Version:  body[0],
+		ASN:      ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	if len(body) < 10+optLen {
+		return nil, fmt.Errorf("%w: optional parameters", ErrShortMessage)
+	}
+	opt := body[10 : 10+optLen]
+	for len(opt) > 0 {
+		if len(opt) < 2 {
+			return nil, fmt.Errorf("%w: truncated optional parameter", ErrShortMessage)
+		}
+		ptype, plen := opt[0], int(opt[1])
+		if len(opt) < 2+plen {
+			return nil, fmt.Errorf("%w: optional parameter overflows", ErrShortMessage)
+		}
+		if ptype == optParamCapability {
+			caps := opt[2 : 2+plen]
+			for len(caps) >= 2 {
+				code, clen := caps[0], int(caps[1])
+				if len(caps) < 2+clen {
+					break
+				}
+				if code == capFourOctetAS && clen == 4 {
+					o.AS4 = true
+					o.ASN = ASN(binary.BigEndian.Uint32(caps[2:6]))
+				}
+				caps = caps[2+clen:]
+			}
+		}
+		opt = opt[2+plen:]
+	}
+	return o, nil
+}
+
+// ParseNotification decodes a full NOTIFICATION message (header included).
+func ParseNotification(data []byte) (*Notification, error) {
+	msgType, msgLen, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != TypeNotification {
+		return nil, fmt.Errorf("bgp: message type %d is not NOTIFICATION", msgType)
+	}
+	if len(data) < msgLen || msgLen < HeaderLen+2 {
+		return nil, fmt.Errorf("%w: NOTIFICATION body", ErrShortMessage)
+	}
+	body := data[HeaderLen:msgLen]
+	n := &Notification{Code: body[0], Subcode: body[1]}
+	if len(body) > 2 {
+		n.Data = append([]byte(nil), body[2:]...)
+	}
+	return n, nil
+}

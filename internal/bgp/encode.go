@@ -1,0 +1,228 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Wire-format constants (RFC 4271 §4.1).
+const (
+	HeaderLen     = 19
+	MarkerLen     = 16
+	MaxMessageLen = 4096
+	// ASTrans is the 2-octet placeholder AS used on the wire when a
+	// 4-octet ASN must be squeezed into a 2-octet field (RFC 6793).
+	ASTrans ASN = 23456
+)
+
+// Attribute flag bits (RFC 4271 §4.3).
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagPartial    = 0x20
+	flagExtLen     = 0x10
+)
+
+// Capability codes (RFC 5492, RFC 6793).
+const (
+	capFourOctetAS     = 65
+	optParamCapability = 2
+)
+
+func appendHeader(dst []byte, msgType int, bodyLen int) []byte {
+	for i := 0; i < MarkerLen; i++ {
+		dst = append(dst, 0xFF)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(HeaderLen+bodyLen))
+	return append(dst, byte(msgType))
+}
+
+// appendPrefix appends the RFC 4271 NLRI encoding of p: one length byte
+// followed by the minimum number of address bytes.
+func appendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.IsValid() || !p.Addr().Is4() {
+		return nil, fmt.Errorf("bgp: cannot encode non-IPv4 prefix %v", p)
+	}
+	p = p.Masked()
+	dst = append(dst, byte(p.Bits()))
+	b := p.Addr().As4()
+	return append(dst, b[:(p.Bits()+7)/8]...), nil
+}
+
+func appendASPath(dst []byte, p ASPath, as4 bool) ([]byte, error) {
+	for _, s := range p.Segments {
+		if s.Type != SegmentSet && s.Type != SegmentSequence {
+			return nil, fmt.Errorf("bgp: invalid AS_PATH segment type %d", s.Type)
+		}
+		if len(s.ASes) == 0 || len(s.ASes) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASes", len(s.ASes))
+		}
+		dst = append(dst, byte(s.Type), byte(len(s.ASes)))
+		for _, a := range s.ASes {
+			if as4 {
+				dst = binary.BigEndian.AppendUint32(dst, uint32(a))
+				continue
+			}
+			if a > 0xFFFF {
+				a = ASTrans
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(a))
+		}
+	}
+	return dst, nil
+}
+
+// appendAttr appends one path attribute with the extended-length flag set
+// automatically when the value exceeds 255 bytes.
+func appendAttr(dst []byte, flags, typ byte, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	dst = append(dst, flags, typ)
+	if flags&flagExtLen != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+// Marshal encodes the UPDATE into a full BGP message (header included).
+// as4 selects 4-octet AS_PATH encoding, matching a session on which the
+// 4-octet-AS capability was negotiated.
+func (u *Update) Marshal(as4 bool) ([]byte, error) {
+	var withdrawn []byte
+	var err error
+	for _, p := range u.Withdrawn {
+		withdrawn, err = appendPrefix(withdrawn, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var attrs []byte
+	a := &u.Attrs
+	if a.HasOrigin {
+		if a.Origin < OriginIGP || a.Origin > OriginIncomplete {
+			return nil, fmt.Errorf("bgp: invalid ORIGIN %d", a.Origin)
+		}
+		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{byte(a.Origin)})
+	}
+	if a.HasASPath {
+		v, err := appendASPath(nil, a.ASPath, as4)
+		if err != nil {
+			return nil, err
+		}
+		attrs = appendAttr(attrs, flagTransitive, AttrASPath, v)
+	}
+	if a.NextHop.IsValid() {
+		if !a.NextHop.Is4() {
+			return nil, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", a.NextHop)
+		}
+		nh := a.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	}
+	if a.HasMED {
+		attrs = appendAttr(attrs, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+	}
+	if a.HasLocalPref {
+		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		attrs = appendAttr(attrs, flagTransitive, AttrAtomicAggregate, nil)
+	}
+	if a.Aggregator != nil {
+		if !a.Aggregator.Addr.Is4() {
+			return nil, fmt.Errorf("bgp: AGGREGATOR address %v is not IPv4", a.Aggregator.Addr)
+		}
+		var v []byte
+		if as4 {
+			v = binary.BigEndian.AppendUint32(v, uint32(a.Aggregator.ASN))
+		} else {
+			asn := a.Aggregator.ASN
+			if asn > 0xFFFF {
+				asn = ASTrans
+			}
+			v = binary.BigEndian.AppendUint16(v, uint16(asn))
+		}
+		ip := a.Aggregator.Addr.As4()
+		v = append(v, ip[:]...)
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrAggregator, v)
+	}
+	if len(a.Communities) > 0 {
+		var v []byte
+		for _, c := range a.Communities {
+			v = binary.BigEndian.AppendUint32(v, uint32(c))
+		}
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, v)
+	}
+
+	var nlri []byte
+	for _, p := range u.NLRI {
+		nlri, err = appendPrefix(nlri, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	if HeaderLen+bodyLen > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: UPDATE length %d exceeds maximum %d", HeaderLen+bodyLen, MaxMessageLen)
+	}
+	out := make([]byte, 0, HeaderLen+bodyLen)
+	out = appendHeader(out, TypeUpdate, bodyLen)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(withdrawn)))
+	out = append(out, withdrawn...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
+	out = append(out, attrs...)
+	out = append(out, nlri...)
+	return out, nil
+}
+
+// Marshal encodes the OPEN into a full BGP message. When o.AS4 is set, the
+// 4-octet-AS capability is included as an optional parameter and ASTrans
+// substitutes for ASNs wider than 16 bits in the fixed field.
+func (o *Open) Marshal() ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("bgp: BGP identifier %v is not IPv4", o.BGPID)
+	}
+	var opt []byte
+	if o.AS4 {
+		cap := binary.BigEndian.AppendUint32([]byte{capFourOctetAS, 4}, uint32(o.ASN))
+		opt = append(opt, optParamCapability, byte(len(cap)))
+		opt = append(opt, cap...)
+	}
+	wireAS := o.ASN
+	if wireAS > 0xFFFF {
+		wireAS = ASTrans
+	}
+	bodyLen := 10 + len(opt)
+	out := make([]byte, 0, HeaderLen+bodyLen)
+	out = appendHeader(out, TypeOpen, bodyLen)
+	out = append(out, o.Version)
+	out = binary.BigEndian.AppendUint16(out, uint16(wireAS))
+	out = binary.BigEndian.AppendUint16(out, o.HoldTime)
+	id := o.BGPID.As4()
+	out = append(out, id[:]...)
+	out = append(out, byte(len(opt)))
+	out = append(out, opt...)
+	return out, nil
+}
+
+// Marshal encodes the NOTIFICATION into a full BGP message.
+func (n *Notification) Marshal() ([]byte, error) {
+	bodyLen := 2 + len(n.Data)
+	if HeaderLen+bodyLen > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: NOTIFICATION too long (%d data bytes)", len(n.Data))
+	}
+	out := make([]byte, 0, HeaderLen+bodyLen)
+	out = appendHeader(out, TypeNotification, bodyLen)
+	out = append(out, n.Code, n.Subcode)
+	return append(out, n.Data...), nil
+}
+
+// Marshal encodes the KEEPALIVE (a bare header).
+func (k *Keepalive) Marshal() ([]byte, error) {
+	return appendHeader(make([]byte, 0, HeaderLen), TypeKeepalive, 0), nil
+}

@@ -1,0 +1,330 @@
+// Package bgpd implements a minimal live BGP-4 speaker: session
+// establishment (OPEN exchange with 4-octet-AS capability negotiation),
+// keepalives, hold-timer enforcement, UPDATE exchange and NOTIFICATION
+// handling over any net.Conn.
+//
+// This is the transport the route collectors of the paper's methodology
+// actually speak: internal/bgpsim streams can be replayed over real TCP
+// to a Collector, which reconstructs the same (time, prefix, AS-PATH)
+// tuples the offline analyses consume. It is deliberately small — no RIB,
+// no policy — because its role here is wire-protocol fidelity, not
+// routing.
+package bgpd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"quicksand/internal/bgp"
+)
+
+// Config describes the local end of a session.
+type Config struct {
+	ASN   bgp.ASN
+	BGPID netip.Addr
+	// HoldTime is the proposed hold time (default 90s; the RFC minimum
+	// of 3s is enforced unless zero, which disables the hold timer).
+	HoldTime time.Duration
+	// AS4 advertises the 4-octet-AS capability (default on when the
+	// ASN needs it; set explicitly to negotiate on small ASNs too).
+	AS4 bool
+}
+
+func (c *Config) validate() error {
+	if c.ASN == 0 {
+		return errors.New("bgpd: ASN must be set")
+	}
+	if !c.BGPID.Is4() {
+		return errors.New("bgpd: BGPID must be an IPv4 address")
+	}
+	if c.HoldTime != 0 && c.HoldTime < 3*time.Second {
+		return fmt.Errorf("bgpd: hold time %v below the 3s minimum", c.HoldTime)
+	}
+	return nil
+}
+
+// Errors surfaced by session operations.
+var (
+	ErrClosed       = errors.New("bgpd: session closed")
+	ErrHoldExpired  = errors.New("bgpd: hold timer expired")
+	ErrNotification = errors.New("bgpd: received NOTIFICATION")
+)
+
+// Session is an established BGP session.
+type Session struct {
+	conn net.Conn
+
+	localAS  bgp.ASN
+	peerAS   bgp.ASN
+	peerID   netip.Addr
+	as4      bool // negotiated: both ends advertised the capability
+	holdTime time.Duration
+
+	writeMu sync.Mutex
+	readBuf []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	kaDone    chan struct{}
+}
+
+// PeerAS returns the peer's (capability-corrected) AS number.
+func (s *Session) PeerAS() bgp.ASN { return s.peerAS }
+
+// PeerID returns the peer's BGP identifier.
+func (s *Session) PeerID() netip.Addr { return s.peerID }
+
+// AS4 reports whether 4-octet AS_PATH encoding was negotiated.
+func (s *Session) AS4() bool { return s.as4 }
+
+// HoldTime returns the negotiated hold time (the minimum of both
+// proposals; zero disables the hold timer).
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn and returns the
+// session. Both ends call Establish concurrently, as in the BGP FSM's
+// OpenSent/OpenConfirm states.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HoldTime == 0 {
+		// Zero means "no hold timer" on the wire too.
+	}
+	holdSecs := uint16(cfg.HoldTime / time.Second)
+	open := &bgp.Open{
+		Version: 4, ASN: cfg.ASN, HoldTime: holdSecs, BGPID: cfg.BGPID,
+		AS4: cfg.AS4 || cfg.ASN > 0xFFFF,
+	}
+	raw, err := open.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Session{
+		conn: conn, localAS: cfg.ASN,
+		closed: make(chan struct{}), kaDone: make(chan struct{}),
+	}
+
+	// Send our OPEN and read the peer's concurrently: with synchronous
+	// transports (net.Pipe) a sequential write would deadlock against
+	// the peer doing the same.
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(raw)
+		writeErr <- err
+	}()
+	peerRaw, msgType, err := s.readMessage(0)
+	if err != nil {
+		return nil, fmt.Errorf("bgpd: reading peer OPEN: %w", err)
+	}
+	if err := <-writeErr; err != nil {
+		return nil, fmt.Errorf("bgpd: sending OPEN: %w", err)
+	}
+	if msgType == bgp.TypeNotification {
+		n, _ := bgp.ParseNotification(peerRaw)
+		return nil, fmt.Errorf("%w: code %d subcode %d", ErrNotification, n.Code, n.Subcode)
+	}
+	if msgType != bgp.TypeOpen {
+		return nil, fmt.Errorf("bgpd: expected OPEN, got type %d", msgType)
+	}
+	peerOpen, err := bgp.ParseOpen(peerRaw)
+	if err != nil {
+		return nil, err
+	}
+	if peerOpen.Version != 4 {
+		s.notifyAndClose(bgp.NotifOpenMessageError, 1, nil)
+		return nil, fmt.Errorf("bgpd: unsupported peer version %d", peerOpen.Version)
+	}
+	s.peerAS = peerOpen.ASN
+	s.peerID = peerOpen.BGPID
+	s.as4 = open.AS4 && peerOpen.AS4
+
+	// Negotiated hold time: the smaller of the two proposals; zero on
+	// either side disables it.
+	s.holdTime = cfg.HoldTime
+	peerHold := time.Duration(peerOpen.HoldTime) * time.Second
+	if peerHold == 0 || (s.holdTime != 0 && peerHold < s.holdTime) {
+		s.holdTime = peerHold
+	}
+
+	// Exchange the confirming KEEPALIVEs (again concurrently).
+	ka, _ := (&bgp.Keepalive{}).Marshal()
+	go func() {
+		writeErr <- s.write(ka, 10*time.Second)
+	}()
+	if _, msgType, err = s.readMessage(s.holdTime); err != nil {
+		return nil, fmt.Errorf("bgpd: awaiting KEEPALIVE: %w", err)
+	}
+	if err := <-writeErr; err != nil {
+		return nil, err
+	}
+	if msgType != bgp.TypeKeepalive {
+		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got type %d", msgType)
+	}
+
+	// Background keepalives at a third of the hold time.
+	if s.holdTime > 0 {
+		go s.keepaliveLoop(s.holdTime / 3)
+	} else {
+		close(s.kaDone)
+	}
+	return s, nil
+}
+
+// write transmits raw under the write lock with a bounded deadline, so a
+// peer that has stopped reading can never wedge the session's writers (a
+// real risk with synchronous transports such as net.Pipe, and with dead
+// TCP peers before keepalive timeouts fire).
+func (s *Session) write(raw []byte, timeout time.Duration) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if timeout > 0 {
+		if err := s.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer s.conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := s.conn.Write(raw)
+	return err
+}
+
+func (s *Session) keepaliveLoop(interval time.Duration) {
+	defer close(s.kaDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	ka, _ := (&bgp.Keepalive{}).Marshal()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if err := s.write(ka, interval); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readMessage reads one full BGP message, applying timeout as a read
+// deadline when positive. It returns the raw message and its type.
+func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
+	if timeout > 0 {
+		if err := s.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, 0, err
+		}
+		defer s.conn.SetReadDeadline(time.Time{})
+	}
+	hdr := make([]byte, bgp.HeaderLen)
+	if _, err := io.ReadFull(s.conn, hdr); err != nil {
+		if isTimeout(err) {
+			return nil, 0, ErrHoldExpired
+		}
+		return nil, 0, err
+	}
+	msgType, msgLen, err := bgp.ParseHeader(hdr)
+	if err != nil {
+		s.notifyAndClose(bgp.NotifMessageHeaderError, 0, nil)
+		return nil, 0, err
+	}
+	raw := make([]byte, msgLen)
+	copy(raw, hdr)
+	if _, err := io.ReadFull(s.conn, raw[bgp.HeaderLen:]); err != nil {
+		if isTimeout(err) {
+			return nil, 0, ErrHoldExpired
+		}
+		return nil, 0, err
+	}
+	return raw, msgType, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// SendUpdate transmits one UPDATE with the session's negotiated AS_PATH
+// encoding.
+func (s *Session) SendUpdate(u *bgp.Update) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	raw, err := u.Marshal(s.as4)
+	if err != nil {
+		return err
+	}
+	return s.write(raw, 0)
+}
+
+// RecvUpdate blocks until the next UPDATE arrives, transparently
+// swallowing keepalives and enforcing the hold timer. A peer NOTIFICATION
+// surfaces as ErrNotification; hold-timer expiry as ErrHoldExpired (after
+// sending the corresponding NOTIFICATION).
+func (s *Session) RecvUpdate() (*bgp.Update, error) {
+	for {
+		select {
+		case <-s.closed:
+			return nil, ErrClosed
+		default:
+		}
+		raw, msgType, err := s.readMessage(s.holdTime)
+		if err != nil {
+			if errors.Is(err, ErrHoldExpired) {
+				s.notifyAndClose(bgp.NotifHoldTimerExpired, 0, nil)
+			}
+			return nil, err
+		}
+		switch msgType {
+		case bgp.TypeKeepalive:
+			continue
+		case bgp.TypeUpdate:
+			return bgp.ParseUpdate(raw, s.as4)
+		case bgp.TypeNotification:
+			n, perr := bgp.ParseNotification(raw)
+			if perr != nil {
+				return nil, perr
+			}
+			s.closeConn()
+			return nil, fmt.Errorf("%w: code %d subcode %d", ErrNotification, n.Code, n.Subcode)
+		default:
+			return nil, fmt.Errorf("bgpd: unexpected message type %d", msgType)
+		}
+	}
+}
+
+func (s *Session) notifyAndClose(code, subcode uint8, data []byte) {
+	n := &bgp.Notification{Code: code, Subcode: subcode, Data: data}
+	if raw, err := n.Marshal(); err == nil {
+		// Best effort with a short deadline: if the peer is also tearing
+		// down (nobody reading), the session must still come down.
+		s.write(raw, time.Second)
+	}
+	s.closeConn()
+}
+
+func (s *Session) closeConn() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.conn.Close()
+	})
+}
+
+// Close sends a Cease NOTIFICATION and tears the session down. Safe to
+// call multiple times.
+func (s *Session) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	s.notifyAndClose(bgp.NotifCease, 0, nil)
+	<-s.kaDone
+	return nil
+}

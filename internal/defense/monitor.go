@@ -1,0 +1,182 @@
+package defense
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpsim"
+	"quicksand/internal/iptrie"
+)
+
+// AlertKind classifies a monitor alarm.
+type AlertKind int
+
+const (
+	// AlertOriginChange fires when a watched prefix is announced with an
+	// unexpected origin AS — the signature of a same-prefix hijack or
+	// interception.
+	AlertOriginChange AlertKind = iota
+	// AlertMoreSpecific fires when a strictly more specific prefix of a
+	// watched prefix appears — a more-specific hijack, which every AS
+	// eventually sees (§5).
+	AlertMoreSpecific
+	// AlertNewUpstream fires when a watched prefix is reached through a
+	// penultimate AS never seen during the learning window — the weaker,
+	// aggressive signal that also catches stealthier manipulations at
+	// the cost of false positives.
+	AlertNewUpstream
+)
+
+// String names the alert kind.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertOriginChange:
+		return "origin-change"
+	case AlertMoreSpecific:
+		return "more-specific"
+	case AlertNewUpstream:
+		return "new-upstream"
+	}
+	return fmt.Sprintf("AlertKind(%d)", int(k))
+}
+
+// Alert is one monitor alarm. Per §5, "false positives are much more
+// acceptable than false negatives": consumers broadcast alerts to clients
+// which then avoid the implicated relays.
+type Alert struct {
+	Time    time.Time
+	Session int
+	Prefix  netip.Prefix
+	Kind    AlertKind
+	// Observed is the offending AS: the bogus origin, the origin of the
+	// more-specific announcement, or the unfamiliar upstream.
+	Observed bgp.ASN
+}
+
+// Monitor is a control-plane watcher for relay prefixes (§5's real-time
+// monitoring framework). It is trained on the expected origin of each
+// watched prefix and, optionally, on the set of legitimate upstream
+// (penultimate) ASes seen during a learning window.
+type Monitor struct {
+	watched        iptrie.Trie[bgp.ASN] // watched prefix -> expected origin
+	knownUpstreams map[netip.Prefix]map[bgp.ASN]bool
+	upstreamAlarms bool
+}
+
+// NewMonitor builds a monitor watching the given prefixes with their
+// legitimate origins. Upstream alarms stay disabled until EnableUpstream
+// is called after a learning phase.
+func NewMonitor(watched map[netip.Prefix]bgp.ASN) (*Monitor, error) {
+	if len(watched) == 0 {
+		return nil, fmt.Errorf("defense: nothing to watch")
+	}
+	m := &Monitor{knownUpstreams: make(map[netip.Prefix]map[bgp.ASN]bool)}
+	for p, origin := range watched {
+		if _, err := m.watched.Insert(p, origin); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Learn records the upstream (penultimate AS) of a benign update for a
+// watched prefix; run it over a known-clean window before enabling
+// upstream alarms.
+func (m *Monitor) Learn(u *bgpsim.UpdateEvent) {
+	if u.Withdraw() {
+		return
+	}
+	if _, ok := m.watched.Get(u.Prefix); !ok {
+		return
+	}
+	if up, ok := upstreamOf(u.Path); ok {
+		set := m.knownUpstreams[u.Prefix]
+		if set == nil {
+			set = make(map[bgp.ASN]bool)
+			m.knownUpstreams[u.Prefix] = set
+		}
+		set[up] = true
+	}
+}
+
+// EnableUpstream turns on new-upstream alarms (after learning).
+func (m *Monitor) EnableUpstream() { m.upstreamAlarms = true }
+
+// upstreamOf returns the penultimate AS of a path (the origin's
+// provider-side neighbor), when the path has one.
+func upstreamOf(path []bgp.ASN) (bgp.ASN, bool) {
+	if len(path) < 2 {
+		return 0, false
+	}
+	return path[len(path)-2], true
+}
+
+// Observe inspects one update and returns any alarms it raises. Announced
+// paths run src-first, origin-last (the bgpsim convention).
+func (m *Monitor) Observe(u *bgpsim.UpdateEvent) []Alert {
+	if u.Withdraw() || len(u.Path) == 0 {
+		return nil
+	}
+	origin := u.Path[len(u.Path)-1]
+	var alerts []Alert
+
+	if expected, ok := m.watched.Get(u.Prefix); ok {
+		// Exact watched prefix: origin and upstream checks.
+		if origin != expected {
+			alerts = append(alerts, Alert{
+				Time: u.Time, Session: u.Session, Prefix: u.Prefix,
+				Kind: AlertOriginChange, Observed: origin,
+			})
+		} else if m.upstreamAlarms {
+			if up, ok := upstreamOf(u.Path); ok && !m.knownUpstreams[u.Prefix][up] {
+				alerts = append(alerts, Alert{
+					Time: u.Time, Session: u.Session, Prefix: u.Prefix,
+					Kind: AlertNewUpstream, Observed: up,
+				})
+			}
+		}
+		return alerts
+	}
+
+	// Not a watched prefix itself: is it strictly more specific than one?
+	if cover, _, ok := m.watched.LongestMatch(u.Prefix.Addr()); ok && cover.Bits() < u.Prefix.Bits() {
+		alerts = append(alerts, Alert{
+			Time: u.Time, Session: u.Session, Prefix: u.Prefix,
+			Kind: AlertMoreSpecific, Observed: origin,
+		})
+	}
+	return alerts
+}
+
+// MonitorReport aggregates a monitor run over a stream.
+type MonitorReport struct {
+	Updates int
+	Alerts  []Alert
+	// ByKind counts alerts per kind.
+	ByKind map[AlertKind]int
+}
+
+// RunMonitor trains the monitor on the first learnFraction of the
+// stream's updates (assumed clean) and observes the rest, returning every
+// alarm. It is the evaluation harness for E5's detection rates.
+func RunMonitor(m *Monitor, st *bgpsim.Stream, learnFraction float64) (*MonitorReport, error) {
+	if learnFraction < 0 || learnFraction >= 1 {
+		return nil, fmt.Errorf("defense: learnFraction %v out of [0,1)", learnFraction)
+	}
+	split := int(float64(len(st.Updates)) * learnFraction)
+	for i := 0; i < split; i++ {
+		m.Learn(&st.Updates[i])
+	}
+	m.EnableUpstream()
+	rep := &MonitorReport{ByKind: make(map[AlertKind]int)}
+	for i := split; i < len(st.Updates); i++ {
+		rep.Updates++
+		for _, a := range m.Observe(&st.Updates[i]) {
+			rep.Alerts = append(rep.Alerts, a)
+			rep.ByKind[a.Kind]++
+		}
+	}
+	return rep, nil
+}

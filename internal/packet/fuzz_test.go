@@ -1,0 +1,22 @@
+package packet
+
+import "testing"
+
+func FuzzParseTCPPacket(f *testing.F) {
+	tcp := &TCPHeader{SrcPort: 443, DstPort: 50000, Seq: 7, Ack: 9, Flags: FlagACK}
+	raw, err := TCPPacket(srcIP, dstIP, tcp, []byte("payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Strict and loose parsers must never panic; strict acceptance
+		// implies loose acceptance.
+		_, _, _, strictErr := ParseTCPPacket(data)
+		_, _, looseErr := ParseTCPPacketLoose(data)
+		if strictErr == nil && looseErr != nil {
+			t.Fatalf("strict accepted but loose rejected: %v", looseErr)
+		}
+	})
+}

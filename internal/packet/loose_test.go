@@ -1,0 +1,81 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseTCPPacketLooseFullPacket(t *testing.T) {
+	tcp := &TCPHeader{SrcPort: 443, DstPort: 50000, Seq: 77, Ack: 88, Flags: FlagACK}
+	raw, err := TCPPacket(srcIP, dstIP, tcp, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, got, err := ParseTCPPacketLoose(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != srcIP || ip.Dst != dstIP {
+		t.Fatalf("addresses %v -> %v", ip.Src, ip.Dst)
+	}
+	if got.Seq != 77 || got.Ack != 88 {
+		t.Fatalf("tcp = %+v", got)
+	}
+	if TCPPayloadLen(ip) != 5 {
+		t.Fatalf("payload len = %d", TCPPayloadLen(ip))
+	}
+}
+
+func TestParseTCPPacketLooseTruncated(t *testing.T) {
+	tcp := &TCPHeader{SrcPort: 80, DstPort: 40000, Seq: 1000, Flags: FlagACK}
+	raw, err := TCPPacket(srcIP, dstIP, tcp, make([]byte, 1400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := raw[:64] // tcpdump-style snaplen truncation
+	ip, got, err := ParseTCPPacketLoose(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1000 {
+		t.Fatalf("seq = %d", got.Seq)
+	}
+	// The wire length survives in TotalLen even though the bytes are gone.
+	if TCPPayloadLen(ip) != 1400 {
+		t.Fatalf("payload len = %d, want 1400", TCPPayloadLen(ip))
+	}
+}
+
+func TestParseTCPPacketLooseErrors(t *testing.T) {
+	if _, _, err := ParseTCPPacketLoose(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short ip: %v", err)
+	}
+	tcp := &TCPHeader{Flags: FlagACK}
+	raw, _ := TCPPacket(srcIP, dstIP, tcp, nil)
+	bad := append([]byte(nil), raw...)
+	bad[0] = 6 << 4
+	if _, _, err := ParseTCPPacketLoose(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[0] = 4<<4 | 3 // IHL 12 < 20
+	if _, _, err := ParseTCPPacketLoose(bad); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("ihl: %v", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[9] = 17 // UDP
+	if _, _, err := ParseTCPPacketLoose(bad); err == nil {
+		t.Fatal("UDP accepted")
+	}
+	// IPv4 header present but TCP header cut off entirely.
+	if _, _, err := ParseTCPPacketLoose(raw[:25]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short tcp: %v", err)
+	}
+}
+
+func TestTCPPayloadLenClampsNegative(t *testing.T) {
+	ip := &IPv4Header{TotalLen: 10}
+	if got := TCPPayloadLen(ip); got != 0 {
+		t.Fatalf("payload len = %d, want 0", got)
+	}
+}

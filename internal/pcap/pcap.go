@@ -1,0 +1,175 @@
+// Package pcap implements the classic libpcap capture file format
+// (pcap-savefile(5)): the fixed 24-byte global header followed by
+// per-packet records with microsecond timestamps and snaplen-truncated
+// data.
+//
+// The traffic simulator's captures (internal/tcpsim) serialise to real
+// .pcap files with LINKTYPE_RAW payloads — openable by tcpdump/wireshark
+// — completing the fidelity loop of the paper's data collection: the
+// asymmetric analysis can run from files on disk exactly as the authors
+// ran theirs from tcpdump output.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link types (from the tcpdump.org registry).
+const (
+	// LinkTypeRaw means packets begin directly with an IPv4/IPv6 header.
+	LinkTypeRaw = 101
+	// LinkTypeEthernet is provided for completeness.
+	LinkTypeEthernet = 1
+)
+
+const (
+	magicNative  = 0xa1b2c3d4 // microsecond timestamps, writer byte order
+	magicSwapped = 0xd4c3b2a1
+	versionMajor = 2
+	versionMinor = 4
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic number")
+	ErrTruncated = errors.New("pcap: truncated file")
+)
+
+// Packet is one captured packet record.
+type Packet struct {
+	Time time.Time
+	// Data is the captured (possibly snaplen-truncated) bytes.
+	Data []byte
+	// OrigLen is the packet's original wire length.
+	OrigLen int
+}
+
+// Writer emits a pcap savefile.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+}
+
+// NewWriter writes the global header for the given link type and snap
+// length and returns a Writer. Little-endian, microsecond resolution.
+func NewWriter(w io.Writer, linkType int, snapLen int) (*Writer, error) {
+	if snapLen <= 0 {
+		return nil, fmt.Errorf("pcap: snaplen must be positive, got %d", snapLen)
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], magicNative)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone (4) and sigfigs (4) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snapLen))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(linkType))
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, snapLen: uint32(snapLen)}, nil
+}
+
+// WritePacket appends one record. Data longer than the snap length is
+// truncated on write; OrigLen (when zero) defaults to len(data).
+func (w *Writer) WritePacket(ts time.Time, data []byte, origLen int) error {
+	if origLen <= 0 {
+		origLen = len(data)
+	}
+	capLen := uint32(len(data))
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(origLen))
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data[:capLen])
+	return err
+}
+
+// Reader iterates a pcap savefile, handling both byte orders.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	LinkType int
+	SnapLen  int
+}
+
+// NewReader parses the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: global header: %v", ErrTruncated, err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case magicNative:
+		order = binary.LittleEndian
+	case magicSwapped:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if major := order.Uint16(hdr[4:6]); major != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d", major)
+	}
+	return &Reader{
+		r: r, order: order,
+		SnapLen:  int(order.Uint32(hdr[16:20])),
+		LinkType: int(order.Uint32(hdr[20:24])),
+	}, nil
+}
+
+// Next reads the next packet record, returning io.EOF at a clean end.
+func (r *Reader) Next() (*Packet, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	usec := int64(r.order.Uint32(hdr[4:8]))
+	capLen := int(r.order.Uint32(hdr[8:12]))
+	origLen := int(r.order.Uint32(hdr[12:16]))
+	if capLen < 0 || capLen > r.SnapLen+65536 {
+		return nil, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	}
+	return &Packet{
+		Time:    time.Unix(sec, usec*1000).UTC(),
+		Data:    data,
+		OrigLen: origLen,
+	}, nil
+}
+
+// ReadAll drains the file into memory.
+func ReadAll(r io.Reader) ([]Packet, int, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Packet
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return out, pr.LinkType, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, *p)
+	}
+}

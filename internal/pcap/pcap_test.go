@@ -1,0 +1,147 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+var ts0 = time.Date(2014, 7, 10, 12, 0, 0, 123456000, time.UTC)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeRaw, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := [][]byte{
+		{0x45, 0, 0, 40, 1, 2, 3},
+		bytes.Repeat([]byte{0xAA}, 60),
+	}
+	for i, p := range pkts {
+		if err := w.WritePacket(ts0.Add(time.Duration(i)*time.Second), p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeRaw || r.SnapLen != 96 {
+		t.Fatalf("header: link=%d snap=%d", r.LinkType, r.SnapLen)
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Data, want) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+		if got.OrigLen != len(want) {
+			t.Fatalf("packet %d OrigLen = %d", i, got.OrigLen)
+		}
+		wantTS := ts0.Add(time.Duration(i) * time.Second)
+		if got.Time.Unix() != wantTS.Unix() || got.Time.Nanosecond()/1000 != wantTS.Nanosecond()/1000 {
+			t.Fatalf("packet %d time = %v, want %v (µs resolution)", i, got.Time, wantTS)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSnapLenTruncatesOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeRaw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{1}, 100)
+	if err := w.WritePacket(ts0, big, 1500); err != nil {
+		t.Fatal(err)
+	}
+	pkts, _, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || len(pkts[0].Data) != 16 || pkts[0].OrigLen != 1500 {
+		t.Fatalf("got %d packets, data %d, orig %d", len(pkts), len(pkts[0].Data), pkts[0].OrigLen)
+	}
+}
+
+func TestSwappedByteOrder(t *testing.T) {
+	// Hand-build a big-endian (swapped magic) file.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:], magicNative) // BE native == LE swapped
+	binary.BigEndian.PutUint16(hdr[4:], versionMajor)
+	binary.BigEndian.PutUint16(hdr[6:], versionMinor)
+	binary.BigEndian.PutUint32(hdr[16:], 64)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:], uint32(ts0.Unix()))
+	binary.BigEndian.PutUint32(rec[4:], 42)
+	binary.BigEndian.PutUint32(rec[8:], 3)
+	binary.BigEndian.PutUint32(rec[12:], 3)
+	buf.Write(rec)
+	buf.Write([]byte{9, 8, 7})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time.Unix() != ts0.Unix() || p.Time.Nanosecond() != 42000 {
+		t.Fatalf("time = %v", p.Time)
+	}
+	if !bytes.Equal(p.Data, []byte{9, 8, 7}) {
+		t.Fatalf("data = %v", p.Data)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedHeaderAndBody(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw, 64)
+	w.WritePacket(ts0, []byte{1, 2, 3, 4}, 0)
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated body: %v", err)
+	}
+	r, err = NewReader(bytes.NewReader(full[:24+5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated record header: %v", err)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(io.Discard, LinkTypeRaw, 0); err == nil {
+		t.Fatal("zero snaplen accepted")
+	}
+}

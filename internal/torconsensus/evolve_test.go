@@ -1,0 +1,148 @@
+package torconsensus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEvolveBasics(t *testing.T) {
+	cfg := smallGenConfig()
+	cur, host, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(cur.Relays)
+	hostBefore := len(host.RelayPrefix)
+	ecfg := DefaultEvolveConfig(7, before)
+	va2 := cfg.ValidAfter.Add(30 * 24 * time.Hour)
+	next, err := Evolve(cur, host, ecfg, va2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.ValidAfter.Equal(va2) {
+		t.Fatalf("ValidAfter = %v", next.ValidAfter)
+	}
+	// Departures and joins roughly balance; population stays within 10%.
+	if got := len(next.Relays); got < before*90/100 || got > before*110/100 {
+		t.Fatalf("population %d -> %d", before, got)
+	}
+	// The original consensus is untouched.
+	if len(cur.Relays) != before {
+		t.Fatal("Evolve mutated the input consensus")
+	}
+	// Hosting gained exactly the joiners' addresses.
+	joiners := 0
+	curAddrs := make(map[string]bool, before)
+	for i := range cur.Relays {
+		curAddrs[cur.Relays[i].Addr.String()] = true
+	}
+	for i := range next.Relays {
+		if !curAddrs[next.Relays[i].Addr.String()] {
+			joiners++
+		}
+	}
+	if len(host.RelayPrefix) != hostBefore+joiners {
+		t.Fatalf("hosting grew by %d, joiners = %d", len(host.RelayPrefix)-hostBefore, joiners)
+	}
+	// Every joiner lives inside its recorded prefix.
+	for i := range next.Relays {
+		r := &next.Relays[i]
+		p, ok := host.RelayPrefix[r.Addr]
+		if !ok {
+			t.Fatalf("relay %v missing from hosting", r.Addr)
+		}
+		if !p.Contains(r.Addr) {
+			t.Fatalf("relay %v outside prefix %v", r.Addr, p)
+		}
+	}
+	// Some relays flapped down.
+	down := 0
+	for i := range next.Relays {
+		if !next.Relays[i].HasFlag(FlagRunning) {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Fatal("no relay lost Running despite DownProb > 0")
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	cfg := smallGenConfig()
+	cur, host1, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, host2, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := DefaultEvolveConfig(9, len(cur.Relays))
+	va := cfg.ValidAfter.Add(30 * 24 * time.Hour)
+	a, err := Evolve(cur, host1, ecfg, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evolve(cur, host2, ecfg, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Relays) != len(b.Relays) {
+		t.Fatal("nondeterministic evolution")
+	}
+	for i := range a.Relays {
+		if a.Relays[i].Identity != b.Relays[i].Identity || a.Relays[i].Bandwidth != b.Relays[i].Bandwidth {
+			t.Fatalf("relay %d differs", i)
+		}
+	}
+}
+
+func TestEvolveValidation(t *testing.T) {
+	cfg := smallGenConfig()
+	cur, host, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := cfg.ValidAfter
+	for i, bad := range []EvolveConfig{
+		{LeaveProb: 1},
+		{DownProb: -0.1},
+		{JoinCount: -1},
+		{BWSigma: -1},
+	} {
+		if _, err := Evolve(cur, host, bad, va); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Evolve(nil, host, EvolveConfig{}, va); err == nil {
+		t.Fatal("nil consensus accepted")
+	}
+}
+
+func TestEvolveChainedEpochs(t *testing.T) {
+	cfg := smallGenConfig()
+	cons, host, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := cfg.ValidAfter
+	for epoch := 1; epoch <= 6; epoch++ {
+		va = va.Add(30 * 24 * time.Hour)
+		cons, err = Evolve(cons, host, DefaultEvolveConfig(int64(epoch), len(cons.Relays)), va)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if len(cons.Guards()) == 0 || len(cons.Exits()) == 0 {
+			t.Fatalf("epoch %d: guard/exit population collapsed", epoch)
+		}
+	}
+	// Addresses stay unique across the whole chain.
+	seen := make(map[string]bool)
+	for i := range cons.Relays {
+		k := cons.Relays[i].Addr.String()
+		if seen[k] {
+			t.Fatalf("duplicate address %s after evolution", k)
+		}
+		seen[k] = true
+	}
+}

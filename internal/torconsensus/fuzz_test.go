@@ -1,0 +1,35 @@
+package torconsensus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := sampleConsensus().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("r n aWQ ZGc 2014-07-01 00:00:00 1.2.3.4 9001 0\ns Guard\nw Bandwidth=1\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		c, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Accepted consensuses must serialise and re-parse to the same
+		// relay count.
+		var out bytes.Buffer
+		if _, err := c.WriteTo(&out); err != nil {
+			t.Fatalf("accepted consensus failed to serialise: %v", err)
+		}
+		c2, err := Parse(&out)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(c2.Relays) != len(c.Relays) {
+			t.Fatalf("relay count changed: %d -> %d", len(c.Relays), len(c2.Relays))
+		}
+	})
+}

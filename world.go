@@ -1,0 +1,223 @@
+// Package quicksand is a from-scratch reproduction of "Anonymity on
+// QuickSand: Using BGP to Compromise Tor" (Vanbever, Li, Rexford, Mittal;
+// HotNets 2014).
+//
+// The package wires the substrates under internal/ — a Gao-Rexford
+// AS-level Internet, a BGP-4/MRT stack, an interdomain churn simulator, a
+// Tor consensus and path-selection model, a TCP-over-Tor traffic
+// simulator, and byte-count correlation — into the paper's experiments:
+//
+//	E1   dataset/methodology statistics (§4)
+//	F2L  AS concentration of guard/exit relays (Figure 2, left)
+//	F2R  asymmetric traffic analysis feasibility (Figure 2, right)
+//	F3L  Tor-prefix path-change ratio CCDF (Figure 3, left)
+//	F3R  extra-AS exposure CCDF (Figure 3, right)
+//	E2   anonymity degradation model (§3.1)
+//	E3   prefix hijack study (§3.2)
+//	E4   prefix interception + asymmetric deanonymization (§3.2–3.3)
+//	E5   countermeasure evaluation (§5)
+//
+// Start with BuildWorld, then call the Run* methods; every experiment is
+// deterministic for a given seed.
+package quicksand
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"quicksand/internal/analysis"
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpsim"
+	"quicksand/internal/topology"
+	"quicksand/internal/torconsensus"
+)
+
+// WorldConfig parameterises the synthetic Internet an experiment runs on.
+type WorldConfig struct {
+	Seed int64
+
+	// Topology generates the AS graph.
+	Topology topology.GenConfig
+
+	// Consensus generates the relay population. Its HostASes field is
+	// filled by BuildWorld from the topology's stub ASes and does not
+	// need to be set.
+	Consensus torconsensus.GenConfig
+
+	// BackgroundPrefixes is the number of ordinary (non-relay) prefixes
+	// announced alongside the Tor prefixes; Figure 3 (left) normalises
+	// Tor-prefix churn by the per-session median over all prefixes, so
+	// the background population defines the baseline.
+	BackgroundPrefixes int
+}
+
+// DefaultWorldConfig is the paper-scale world: a ~1000-AS Internet, the
+// July 2014 relay population (4586 relays over 1251 guard/exit prefixes
+// announced by 650 ASes) and 5000 background prefixes.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		Seed:               1,
+		Topology:           topology.DefaultGenConfig(),
+		Consensus:          torconsensus.DefaultGenConfig(nil),
+		BackgroundPrefixes: 5000,
+	}
+}
+
+// SmallWorldConfig is a reduced world for tests and quick demos: ~240
+// ASes, 500 relays, 600 background prefixes.
+func SmallWorldConfig() WorldConfig {
+	return WorldConfig{
+		Seed: 1,
+		Topology: topology.GenConfig{
+			Tier1: 4, Tier2: 30, Tier3: 200,
+			Tier2PeerProb: 0.08, MaxT2Providers: 2, MaxT3Providers: 3, Seed: 1,
+		},
+		Consensus: torconsensus.GenConfig{
+			Total: 500, Guards: 200, Exits: 100, Both: 40,
+			GuardExitPrefixes:  140,
+			MaxRelaysPerPrefix: 20,
+			MiddleOnlyPrefixes: 30,
+			NumHostASes:        80,
+			Seed:               1,
+			ValidAfter:         torconsensus.DefaultGenConfig(nil).ValidAfter,
+		},
+		BackgroundPrefixes: 600,
+	}
+}
+
+// World is a fully built synthetic Internet: topology, relay population,
+// and the complete prefix origination table (relay-hosting prefixes plus
+// background prefixes).
+type World struct {
+	Topology  *topology.Graph
+	Consensus *torconsensus.Consensus
+	Hosting   *torconsensus.Hosting
+
+	// Origins maps every announced prefix (relay-hosting and background)
+	// to its origin AS; this is the BGP simulator's input.
+	Origins map[netip.Prefix]bgp.ASN
+
+	// RIB is the longest-prefix-match view of Origins.
+	RIB *analysis.RIB
+
+	// TorPrefixes are the guard/exit-hosting prefixes derived from the
+	// consensus via the RIB (the paper's §4 mapping).
+	TorPrefixes map[netip.Prefix]*analysis.TorPrefix
+}
+
+// TorPrefixSet returns the Tor prefixes as a set, the shape the churn
+// analyses take.
+func (w *World) TorPrefixSet() map[netip.Prefix]bool {
+	s := make(map[netip.Prefix]bool, len(w.TorPrefixes))
+	for p := range w.TorPrefixes {
+		s[p] = true
+	}
+	return s
+}
+
+// RelayAS maps a relay (or any) address to its origin AS via the RIB.
+func (w *World) RelayAS(addr netip.Addr) (bgp.ASN, bool) {
+	_, asn, ok := w.RIB.LongestMatch(addr)
+	return asn, ok
+}
+
+// BuildWorld generates a synthetic Internet per cfg: the AS topology, the
+// relay population hosted in stub ASes, and background prefix
+// announcements. Deterministic for a given config.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	g, err := topology.Generate(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("quicksand: topology: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Relay hosting ASes come from the stub tier (hosting providers are
+	// edge networks), shuffled deterministically.
+	stubs := g.TierASNs(3)
+	if len(stubs) == 0 {
+		stubs = g.ASNs()
+	}
+	consCfg := cfg.Consensus
+	if consCfg.HostASes == nil {
+		if len(stubs) < consCfg.NumHostASes {
+			return nil, fmt.Errorf("quicksand: %d stub ASes cannot host %d relay ASes",
+				len(stubs), consCfg.NumHostASes)
+		}
+		consCfg.HostASes = stubs
+	}
+	cons, hosting, err := torconsensus.GenerateConsensus(consCfg)
+	if err != nil {
+		return nil, fmt.Errorf("quicksand: consensus: %w", err)
+	}
+
+	// Origination table: relay prefixes plus background prefixes in a
+	// disjoint address range (128/2), originated by random ASes.
+	origins := make(map[netip.Prefix]bgp.ASN, len(hosting.Prefixes)+cfg.BackgroundPrefixes)
+	for p, asn := range hosting.Prefixes {
+		origins[p] = asn
+	}
+	all := g.ASNs()
+	for i := 0; i < cfg.BackgroundPrefixes; i++ {
+		base := uint32(128<<24) + uint32(i)<<10 // /22-spaced blocks from 128.0.0.0
+		bits := 17 + rng.Intn(6)
+		if bits > 22 {
+			bits = 22
+		}
+		addr := netip.AddrFrom4([4]byte{byte(base >> 24), byte(base >> 16), byte(base >> 8), byte(base)})
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, err
+		}
+		if _, taken := origins[p]; taken {
+			continue
+		}
+		origins[p] = all[rng.Intn(len(all))]
+	}
+
+	rib, err := analysis.BuildRIB(origins)
+	if err != nil {
+		return nil, err
+	}
+	torPrefixes, _, err := analysis.MapTorPrefixes(cons, rib)
+	if err != nil {
+		return nil, err
+	}
+	return &World{
+		Topology: g, Consensus: cons, Hosting: hosting,
+		Origins: origins, RIB: rib, TorPrefixes: torPrefixes,
+	}, nil
+}
+
+// SimulateMonth runs the BGP churn simulator over the world for the
+// configured duration, biasing instability toward the relay-hosting ASes
+// (the empirical skew of Figure 3). Overrides with zero values fall back
+// to bgpsim.DefaultConfig; pass a modified config for custom runs.
+func (w *World) SimulateMonth(cfg bgpsim.Config) (*bgpsim.Stream, error) {
+	if cfg.BiasOrigins == nil {
+		cfg.BiasOrigins = w.Hosting.OriginASes()
+	}
+	sim, err := bgpsim.New(w.Topology, w.Origins)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// SmallMonthConfig is a reduced churn configuration matched to
+// SmallWorldConfig: 7 sessions over 4 days; fast enough for tests while
+// exercising every event type.
+func SmallMonthConfig() bgpsim.Config {
+	cfg := bgpsim.DefaultConfig()
+	cfg.Collectors = []bgpsim.CollectorSpec{
+		{Name: "rrc00", Sessions: 4},
+		{Name: "rrc01", Sessions: 3},
+	}
+	cfg.Duration = cfg.Duration / 8 // ~4 days
+	cfg.LinkFailures = 120
+	cfg.OriginChurnEvents = 900
+	cfg.FlapEpisodes = 10
+	cfg.MaxFlapCycles = 200
+	cfg.PolicyEvents = 1
+	return cfg
+}
