@@ -7,6 +7,7 @@ package quicksand
 // BenchmarkSimulateMonth).
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +16,11 @@ import (
 	"quicksand/internal/bgpsim"
 	"quicksand/internal/tcpsim"
 )
+
+// benchWorkers makes the study benchmarks sensitive to `go test -cpu`:
+// GOMAXPROCS is what -cpu sets, so `-cpu 1,4 -bench E3` reports the
+// sequential and 4-worker timings side by side.
+func benchWorkers() int { return runtime.GOMAXPROCS(0) }
 
 var benchOnce sync.Once
 var benchWorld *World
@@ -130,13 +136,15 @@ func BenchmarkE2AnonymityModel(b *testing.B) {
 	}
 }
 
-// BenchmarkE3Hijack runs the hijack study (attackers x top prefixes).
+// BenchmarkE3Hijack runs the hijack study (attackers x top prefixes),
+// parallelised across -cpu workers.
 func BenchmarkE3Hijack(b *testing.B) {
 	w, _ := benchSetup(b)
 	cfg := DefaultHijackStudyConfig()
 	cfg.Attackers = 5
 	cfg.TopPrefixes = 2
 	cfg.ClientASes = 40
+	cfg.Workers = benchWorkers()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.RunHijackStudy(cfg); err != nil {
@@ -146,13 +154,14 @@ func BenchmarkE3Hijack(b *testing.B) {
 }
 
 // BenchmarkE4Intercept runs interception trials including the end-to-end
-// correlation attack.
+// correlation attack, parallelised across -cpu workers.
 func BenchmarkE4Intercept(b *testing.B) {
 	w, _ := benchSetup(b)
 	cfg := DefaultInterceptStudyConfig()
 	cfg.Trials = 3
 	cfg.Decoys = 3
 	cfg.FileSize = 1 << 20
+	cfg.Workers = benchWorkers()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.RunInterceptStudy(cfg); err != nil {
@@ -161,11 +170,13 @@ func BenchmarkE4Intercept(b *testing.B) {
 	}
 }
 
-// BenchmarkE5Defenses evaluates the §5 countermeasures end to end.
+// BenchmarkE5Defenses evaluates the §5 countermeasures end to end,
+// parallelised across -cpu workers.
 func BenchmarkE5Defenses(b *testing.B) {
 	w, st := benchSetup(b)
 	cfg := DefaultDefenseStudyConfig()
 	cfg.Circuits = 40
+	cfg.Workers = benchWorkers()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.RunDefenseStudy(st, cfg); err != nil {
@@ -190,6 +201,7 @@ func BenchmarkE8ROV(b *testing.B) {
 	w, _ := benchSetup(b)
 	cfg := DefaultROVStudyConfig()
 	cfg.Attackers = 5
+	cfg.Workers = benchWorkers()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.RunROVStudy(cfg); err != nil {
@@ -219,6 +231,7 @@ func BenchmarkE7Rotation(b *testing.B) {
 	cfg := DefaultRotationStudyConfig()
 	cfg.Clients = 100
 	cfg.Months = 12
+	cfg.Workers = benchWorkers()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.RunRotationStudy(cfg); err != nil {

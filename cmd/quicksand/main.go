@@ -27,21 +27,33 @@
 // Flags:
 //
 //	-scale small|paper   world size (default small; paper ≈ the real
-//	                     July-2014 population and takes ~15 minutes)
+//	                     July-2014 population)
 //	-seed N              root seed (default 1)
+//	-workers N           worker goroutines per study (default: one per
+//	                     CPU); results are identical for any value
 //	-pcap DIR            write fig2right captures as .pcap files
+//
+// Every study derives one RNG per trial from the root seed, so output
+// is bit-for-bit identical regardless of -workers. Under "all", the
+// independent experiments additionally run concurrently (world and
+// stream are built first); their outputs are printed in the canonical
+// order.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"quicksand"
 	"quicksand/internal/analysis"
 	"quicksand/internal/bgpsim"
+	"quicksand/internal/par"
 	"quicksand/internal/stats"
 	"quicksand/internal/tcpsim"
 )
@@ -49,6 +61,7 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "world scale: small or paper")
 	seed := flag.Int64("seed", 1, "root seed")
+	workers := flag.Int("workers", 0, "worker goroutines per study (<1 = one per CPU)")
 	pcapDir := flag.String("pcap", "", "directory to write fig2right packet captures (.pcap) into")
 	flag.Usage = usage
 	flag.Parse()
@@ -56,14 +69,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *scale, *seed, *pcapDir); err != nil {
+	if err := run(flag.Arg(0), *scale, *seed, *workers, *pcapDir); err != nil {
 		fmt.Fprintln(os.Stderr, "quicksand:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: quicksand [-scale small|paper] [-seed N] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: quicksand [-scale small|paper] [-seed N] [-workers N] <experiment>
 
 experiments: dataset fig2left fig2right fig3left fig3right
              anonymity hijack intercept defend
@@ -72,109 +85,145 @@ experiments: dataset fig2left fig2right fig3left fig3right
 }
 
 // app carries lazily built shared state: the world and the simulated
-// update stream (several experiments need both; "all" builds them once).
+// update stream (several experiments need both; "all" builds them once
+// up front and then runs the experiments concurrently).
 type app struct {
 	scale   string
 	seed    int64
+	workers int
 	pcapDir string
-	world   *quicksand.World
-	strm    *bgpsim.Stream
+
+	worldOnce sync.Once
+	world     *quicksand.World
+	worldErr  error
+
+	strmOnce sync.Once
+	strm     *bgpsim.Stream
+	strmErr  error
 }
 
-func run(name, scale string, seed int64, pcapDir string) error {
+// step is one experiment: a name and a renderer writing its report to w.
+type step struct {
+	name string
+	fn   func(w io.Writer) error
+}
+
+func (a *app) steps() []step {
+	return []step{
+		{"dataset", a.dataset},
+		{"fig2left", a.fig2left},
+		{"fig2right", a.fig2right},
+		{"fig3left", a.fig3left},
+		{"fig3right", a.fig3right},
+		{"anonymity", a.anonymity},
+		{"hijack", a.hijack},
+		{"intercept", a.intercept},
+		{"defend", a.defend},
+		{"convergence", a.convergence},
+		{"rotation", a.rotation},
+		{"rov", a.rov},
+		{"detect", a.detect},
+		{"ablation", a.ablation},
+	}
+}
+
+func run(name, scale string, seed int64, workers int, pcapDir string) error {
 	if scale != "small" && scale != "paper" {
 		return fmt.Errorf("unknown scale %q", scale)
 	}
-	a := &app{scale: scale, seed: seed, pcapDir: pcapDir}
-	switch name {
-	case "dataset":
-		return a.dataset()
-	case "fig2left":
-		return a.fig2left()
-	case "fig2right":
-		return a.fig2right()
-	case "fig3left":
-		return a.fig3left()
-	case "fig3right":
-		return a.fig3right()
-	case "anonymity":
-		return a.anonymity()
-	case "hijack":
-		return a.hijack()
-	case "intercept":
-		return a.intercept()
-	case "defend":
-		return a.defend()
-	case "convergence":
-		return a.convergence()
-	case "rotation":
-		return a.rotation()
-	case "ablation":
-		return a.ablation()
-	case "rov":
-		return a.rov()
-	case "detect":
-		return a.detect()
-	case "all":
-		for _, step := range []func() error{
-			a.dataset, a.fig2left, a.fig2right, a.fig3left,
-			a.fig3right, a.anonymity, a.hijack, a.intercept, a.defend,
-			a.convergence, a.rotation, a.rov, a.detect, a.ablation,
-		} {
-			if err := step(); err != nil {
-				return err
-			}
-			fmt.Println()
+	a := &app{scale: scale, seed: seed, workers: workers, pcapDir: pcapDir}
+	if name == "all" {
+		return a.runAll()
+	}
+	for _, s := range a.steps() {
+		if s.name == name {
+			return s.fn(os.Stdout)
 		}
-		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
 
+// runAll executes every experiment concurrently on the worker pool and
+// prints the reports in the canonical order as they become ready. The
+// world and stream are built first so every experiment (including the
+// rotation study's measured-F3R input) sees identical shared state.
+func (a *app) runAll() error {
+	start := time.Now()
+	if _, err := a.getStream(); err != nil { // builds the world too
+		return err
+	}
+	steps := a.steps()
+	bufs := make([]bytes.Buffer, len(steps))
+	errs := make([]error, len(steps))
+	done := make(chan int, len(steps))
+	go func() {
+		// Step-level errors are collected per step (not propagated via
+		// the pool) so every independent report still completes.
+		_ = par.ForEach(a.workers, len(steps), func(i int) error {
+			errs[i] = steps[i].fn(&bufs[i])
+			done <- i
+			return nil
+		})
+		close(done)
+	}()
+	ready := make([]bool, len(steps))
+	printed := 0
+	for i := range done {
+		ready[i] = true
+		for printed < len(steps) && ready[printed] {
+			os.Stdout.Write(bufs[printed].Bytes())
+			if errs[printed] != nil {
+				return fmt.Errorf("%s: %w", steps[printed].name, errs[printed])
+			}
+			fmt.Println()
+			printed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "# all experiments done in %.1fs (workers=%d)\n",
+		time.Since(start).Seconds(), par.Workers(a.workers))
+	return nil
+}
+
 func (a *app) getWorld() (*quicksand.World, error) {
-	if a.world != nil {
-		return a.world, nil
-	}
-	cfg := quicksand.SmallWorldConfig()
-	if a.scale == "paper" {
-		cfg = quicksand.DefaultWorldConfig()
-	}
-	cfg.Seed = a.seed
-	cfg.Topology.Seed = a.seed
-	cfg.Consensus.Seed = a.seed
-	fmt.Fprintf(os.Stderr, "# building %s world (seed %d)...\n", a.scale, a.seed)
-	w, err := quicksand.BuildWorld(cfg)
-	if err != nil {
-		return nil, err
-	}
-	a.world = w
-	return w, nil
+	a.worldOnce.Do(func() {
+		cfg := quicksand.SmallWorldConfig()
+		if a.scale == "paper" {
+			cfg = quicksand.DefaultWorldConfig()
+		}
+		cfg.Seed = a.seed
+		cfg.Topology.Seed = a.seed
+		cfg.Consensus.Seed = a.seed
+		fmt.Fprintf(os.Stderr, "# building %s world (seed %d)...\n", a.scale, a.seed)
+		a.world, a.worldErr = quicksand.BuildWorld(cfg)
+	})
+	return a.world, a.worldErr
 }
 
 func (a *app) getStream() (*bgpsim.Stream, error) {
-	if a.strm != nil {
-		return a.strm, nil
-	}
-	w, err := a.getWorld()
-	if err != nil {
-		return nil, err
-	}
-	cfg := quicksand.SmallMonthConfig()
-	if a.scale == "paper" {
-		cfg = bgpsim.DefaultConfig()
-	}
-	cfg.Seed = a.seed
-	fmt.Fprintf(os.Stderr, "# simulating BGP churn over %v (%d sessions)...\n",
-		cfg.Duration, sessions(cfg))
-	start := time.Now()
-	st, err := w.SimulateMonth(cfg)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "# stream: %d updates, %d resets (%.1fs)\n",
-		len(st.Updates), len(st.Resets), time.Since(start).Seconds())
-	a.strm = st
-	return st, nil
+	a.strmOnce.Do(func() {
+		w, err := a.getWorld()
+		if err != nil {
+			a.strmErr = err
+			return
+		}
+		cfg := quicksand.SmallMonthConfig()
+		if a.scale == "paper" {
+			cfg = bgpsim.DefaultConfig()
+		}
+		cfg.Seed = a.seed
+		fmt.Fprintf(os.Stderr, "# simulating BGP churn over %v (%d sessions)...\n",
+			cfg.Duration, sessions(cfg))
+		start := time.Now()
+		st, err := w.SimulateMonth(cfg)
+		if err != nil {
+			a.strmErr = err
+			return
+		}
+		fmt.Fprintf(os.Stderr, "# stream: %d updates, %d resets (%.1fs)\n",
+			len(st.Updates), len(st.Resets), time.Since(start).Seconds())
+		a.strm = st
+	})
+	return a.strm, a.strmErr
 }
 
 func sessions(cfg bgpsim.Config) int {
@@ -185,32 +234,36 @@ func sessions(cfg bgpsim.Config) int {
 	return n
 }
 
-func (a *app) dataset() error {
+func (a *app) dataset(out io.Writer) error {
 	st, err := a.getStream()
 	if err != nil {
 		return err
 	}
-	ds, err := a.world.RunDataset(st)
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E1: dataset statistics (paper §4 methodology) ==")
-	fmt.Printf("relays                    %6d   (paper: 4586)\n", ds.Relays)
-	fmt.Printf("guards                    %6d   (paper: 1918)\n", ds.Guards)
-	fmt.Printf("exits                     %6d   (paper: 891)\n", ds.Exits)
-	fmt.Printf("guard+exit                %6d   (paper: 442)\n", ds.Both)
-	fmt.Printf("Tor prefixes              %6d   (paper: 1251)\n", ds.TorPrefixes)
-	fmt.Printf("origin ASes               %6d   (paper: 650)\n", ds.OriginASes)
-	fmt.Printf("relays/prefix             median=%.0f p75=%.0f max=%.0f   (paper: 1 / 2 / 33)\n",
+	ds, err := w.RunDataset(st)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== E1: dataset statistics (paper §4 methodology) ==")
+	fmt.Fprintf(out, "relays                    %6d   (paper: 4586)\n", ds.Relays)
+	fmt.Fprintf(out, "guards                    %6d   (paper: 1918)\n", ds.Guards)
+	fmt.Fprintf(out, "exits                     %6d   (paper: 891)\n", ds.Exits)
+	fmt.Fprintf(out, "guard+exit                %6d   (paper: 442)\n", ds.Both)
+	fmt.Fprintf(out, "Tor prefixes              %6d   (paper: 1251)\n", ds.TorPrefixes)
+	fmt.Fprintf(out, "origin ASes               %6d   (paper: 650)\n", ds.OriginASes)
+	fmt.Fprintf(out, "relays/prefix             median=%.0f p75=%.0f max=%.0f   (paper: 1 / 2 / 33)\n",
 		ds.RelaysPerPrefix.Median, ds.RelaysPerPrefix.P75, ds.RelaysPerPrefix.Max)
-	fmt.Printf("prefix visibility         mean=%.0f%% max=%.0f%%   (paper: 40%% / 60%%)\n",
+	fmt.Fprintf(out, "prefix visibility         mean=%.0f%% max=%.0f%%   (paper: 40%% / 60%%)\n",
 		100*ds.MeanPrefixVisibility, 100*ds.MaxPrefixVisibility)
-	fmt.Printf("Tor prefixes per session  median=%.0f max=%.0f   (paper: 438 / 1242)\n",
+	fmt.Fprintf(out, "Tor prefixes per session  median=%.0f max=%.0f   (paper: 438 / 1242)\n",
 		ds.PrefixesPerSession.Median, ds.PrefixesPerSession.Max)
 	return nil
 }
 
-func (a *app) fig2left() error {
+func (a *app) fig2left(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
@@ -219,23 +272,23 @@ func (a *app) fig2left() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("== F2L: AS concentration of guard/exit relays (Figure 2, left) ==")
-	fmt.Println("#ASes  %relays")
+	fmt.Fprintln(out, "== F2L: AS concentration of guard/exit relays (Figure 2, left) ==")
+	fmt.Fprintln(out, "#ASes  %relays")
 	for _, k := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500} {
 		if k > len(curve) {
 			break
 		}
-		fmt.Printf("%5d  %6.1f\n", k, curve[k-1].PercentRelays)
+		fmt.Fprintf(out, "%5d  %6.1f\n", k, curve[k-1].PercentRelays)
 	}
-	fmt.Printf("top-5 hosting ASes: ")
+	fmt.Fprintf(out, "top-5 hosting ASes: ")
 	for i := 0; i < 5 && i < len(ranking); i++ {
-		fmt.Printf("%v(%d) ", ranking[i].ASN, ranking[i].Relays)
+		fmt.Fprintf(out, "%v(%d) ", ranking[i].ASN, ranking[i].Relays)
 	}
-	fmt.Printf("\n(paper: 5 ASes host 20%% of guard/exit relays)\n")
+	fmt.Fprintf(out, "\n(paper: 5 ASes host 20%% of guard/exit relays)\n")
 	return nil
 }
 
-func (a *app) fig2right() error {
+func (a *app) fig2right(out io.Writer) error {
 	cfg := tcpsim.DefaultConfig()
 	cfg.Seed = a.seed
 	if a.scale == "small" {
@@ -246,21 +299,21 @@ func (a *app) fig2right() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("== F2R: asymmetric traffic analysis (Figure 2, right) ==")
-	fmt.Println("t(s)   srv->exit  exit->srv  grd->cli  cli->grd   (cumulative MB)")
+	fmt.Fprintln(out, "== F2R: asymmetric traffic analysis (Figure 2, right) ==")
+	fmt.Fprintln(out, "t(s)   srv->exit  exit->srv  grd->cli  cli->grd   (cumulative MB)")
 	s := res.Series
 	for i := 0; i < len(s.ServerToExit.Cum); i += 2 {
-		fmt.Printf("%4d   %9.2f  %9.2f  %8.2f  %8.2f\n",
+		fmt.Fprintf(out, "%4d   %9.2f  %9.2f  %8.2f  %8.2f\n",
 			i+1,
 			s.ServerToExit.Cum[i]/(1<<20), s.ExitToServer.Cum[i]/(1<<20),
 			s.GuardToClient.Cum[i]/(1<<20), s.ClientToGuard.Cum[i]/(1<<20))
 	}
-	fmt.Println("increment correlations (lag-aligned):")
+	fmt.Fprintln(out, "increment correlations (lag-aligned):")
 	for _, k := range []string{"server_data~client_data", "server_data~server_acks",
 		"server_data~client_acks", "server_acks~client_acks"} {
-		fmt.Printf("  %-26s %.3f\n", k, res.Correlations[k])
+		fmt.Fprintf(out, "  %-26s %.3f\n", k, res.Correlations[k])
 	}
-	fmt.Println("(paper: the four series are nearly identical across time)")
+	fmt.Fprintln(out, "(paper: the four series are nearly identical across time)")
 	if a.pcapDir != "" {
 		if err := os.MkdirAll(a.pcapDir, 0o755); err != nil {
 			return err
@@ -283,98 +336,108 @@ func (a *app) fig2right() error {
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s (%d packets)\n", path, len(recs))
+			fmt.Fprintf(out, "wrote %s (%d packets)\n", path, len(recs))
 		}
 	}
 	return nil
 }
 
-func ccdfRows(pts []stats.CCDFPoint, values []float64) {
+func ccdfRows(out io.Writer, pts []stats.CCDFPoint, values []float64) {
 	for _, v := range values {
-		fmt.Printf("%8.1f  %6.1f%%\n", v, stats.CCDFAt(pts, v))
+		fmt.Fprintf(out, "%8.1f  %6.1f%%\n", v, stats.CCDFAt(pts, v))
 	}
 }
 
-func (a *app) fig3left() error {
+func (a *app) fig3left(out io.Writer) error {
 	st, err := a.getStream()
 	if err != nil {
 		return err
 	}
-	res, err := a.world.RunFig3Left(st, analysis.FilterHeuristic)
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== F3L: Tor-prefix path changes vs session median (Figure 3, left) ==")
-	fmt.Println("ratio     CCDF (% of samples >= ratio)")
-	ccdfRows(res.CCDF, []float64{0.2, 0.5, 1, 2, 5, 10, 50, 100, 500, 1000})
-	fmt.Printf("samples: %d   ratio>1: %.0f%%   max ratio: %.0fx\n",
+	res, err := w.RunFig3Left(st, analysis.FilterHeuristic)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== F3L: Tor-prefix path changes vs session median (Figure 3, left) ==")
+	fmt.Fprintln(out, "ratio     CCDF (% of samples >= ratio)")
+	ccdfRows(out, res.CCDF, []float64{0.2, 0.5, 1, 2, 5, 10, 50, 100, 500, 1000})
+	fmt.Fprintf(out, "samples: %d   ratio>1: %.0f%%   max ratio: %.0fx\n",
 		len(res.Ratios), 100*res.FractionAboveMedian, res.MaxRatio)
-	fmt.Println("(paper: >50% of samples above the median; tail beyond 2000x)")
+	fmt.Fprintln(out, "(paper: >50% of samples above the median; tail beyond 2000x)")
 	return nil
 }
 
-func (a *app) fig3right() error {
+func (a *app) fig3right(out io.Writer) error {
 	st, err := a.getStream()
 	if err != nil {
 		return err
 	}
-	res, err := a.world.RunFig3Right(st, 5*time.Minute, analysis.FilterHeuristic)
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== F3R: extra ASes seen >=5min per Tor prefix (Figure 3, right) ==")
-	fmt.Println("extra     CCDF (% of prefixes >= extra)")
-	ccdfRows(res.CCDF, []float64{1, 2, 3, 5, 10, 15, 20})
-	fmt.Printf("prefixes: %d   >=2 extra: %.0f%%   >5 extra: %.0f%%\n",
+	res, err := w.RunFig3Right(st, 5*time.Minute, analysis.FilterHeuristic)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== F3R: extra ASes seen >=5min per Tor prefix (Figure 3, right) ==")
+	fmt.Fprintln(out, "extra     CCDF (% of prefixes >= extra)")
+	ccdfRows(out, res.CCDF, []float64{1, 2, 3, 5, 10, 15, 20})
+	fmt.Fprintf(out, "prefixes: %d   >=2 extra: %.0f%%   >5 extra: %.0f%%\n",
 		len(res.Counts), 100*res.FractionAtLeast2, 100*res.FractionAbove5)
-	fmt.Println("(paper: 50% gained >=2 extra ASes; 8% gained >5)")
+	fmt.Fprintln(out, "(paper: 50% gained >=2 extra ASes; 8% gained >5)")
 	return nil
 }
 
-func (a *app) anonymity() error {
-	fmt.Println("== E2: anonymity degradation model (§3.1) ==")
+func (a *app) anonymity(out io.Writer) error {
+	fmt.Fprintln(out, "== E2: anonymity degradation model (§3.1) ==")
 	fs := []float64{0.01, 0.02, 0.05, 0.10}
 	xs := []int{1, 2, 4, 6, 10, 15, 20}
 	cells := quicksand.RunAnonymityModel(fs, xs, 3)
-	fmt.Println("    f     x   P[1 guard]  P[3 guards]")
+	fmt.Fprintln(out, "    f     x   P[1 guard]  P[3 guards]")
 	for _, c := range cells {
-		fmt.Printf("%5.2f  %4d   %9.3f    %9.3f\n", c.F, c.X, c.Single, c.MultiGuard)
+		fmt.Fprintf(out, "%5.2f  %4d   %9.3f    %9.3f\n", c.F, c.X, c.Single, c.MultiGuard)
 	}
-	fmt.Println("(paper: P = 1-(1-f)^x, amplified to 1-(1-f)^(3x) by guard sets)")
+	fmt.Fprintln(out, "(paper: P = 1-(1-f)^x, amplified to 1-(1-f)^(3x) by guard sets)")
 	return nil
 }
 
-func (a *app) hijack() error {
+func (a *app) hijack(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
 	cfg := quicksand.DefaultHijackStudyConfig()
 	cfg.Seed = a.seed
+	cfg.Workers = a.workers
 	res, err := w.RunHijackStudy(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E3: prefix hijack study (§3.2) ==")
-	fmt.Printf("trials                         %d (attackers x top guard prefixes)\n", res.Trials)
-	fmt.Printf("capture fraction               mean=%.2f median=%.2f max=%.2f\n",
+	fmt.Fprintln(out, "== E3: prefix hijack study (§3.2) ==")
+	fmt.Fprintf(out, "trials                         %d (attackers x top guard prefixes)\n", res.Trials)
+	fmt.Fprintf(out, "capture fraction               mean=%.2f median=%.2f max=%.2f\n",
 		res.CaptureFraction.Mean, res.CaptureFraction.Median, res.CaptureFraction.Max)
-	fmt.Printf("anonymity set (of clients)     mean=%.2f (fraction remaining)\n",
+	fmt.Fprintf(out, "anonymity set (of clients)     mean=%.2f (fraction remaining)\n",
 		res.AnonymitySetFraction.Mean)
-	fmt.Printf("more-specific hijack capture   %.2f (expected ~1.00)\n", res.MoreSpecificCapture)
-	fmt.Printf("top-prefix interception view   guards=%.1f%% exits=%.1f%% circuits=%.1f%%\n",
+	fmt.Fprintf(out, "more-specific hijack capture   %.2f (expected ~1.00)\n", res.MoreSpecificCapture)
+	fmt.Fprintf(out, "top-prefix interception view   guards=%.1f%% exits=%.1f%% circuits=%.1f%%\n",
 		100*res.Surveillance.GuardShare, 100*res.Surveillance.ExitShare,
 		100*res.Surveillance.CircuitShare)
 	return nil
 }
 
-func (a *app) intercept() error {
+func (a *app) intercept(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
 	cfg := quicksand.DefaultInterceptStudyConfig()
 	cfg.Seed = a.seed
+	cfg.Workers = a.workers
 	if a.scale == "small" {
 		cfg.Trials = 10
 		cfg.FileSize = 2 << 20
@@ -384,76 +447,87 @@ func (a *app) intercept() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E4: prefix interception + asymmetric deanonymization (§3.2-3.3) ==")
-	fmt.Printf("interception trials        %d\n", res.Trials)
-	fmt.Printf("clean return path          %d (%.0f%%)\n",
+	fmt.Fprintln(out, "== E4: prefix interception + asymmetric deanonymization (§3.2-3.3) ==")
+	fmt.Fprintf(out, "interception trials        %d\n", res.Trials)
+	fmt.Fprintf(out, "clean return path          %d (%.0f%%)\n",
 		res.CleanPath, 100*float64(res.CleanPath)/float64(res.Trials))
-	fmt.Printf("effective (captured >0)    %d\n", res.Effective)
-	fmt.Printf("mean capture fraction      %.2f\n", res.MeanCaptureFraction)
-	fmt.Printf("deanonymization            %d/%d correct (%.0f%%)\n",
+	fmt.Fprintf(out, "effective (captured >0)    %d\n", res.Effective)
+	fmt.Fprintf(out, "mean capture fraction      %.2f\n", res.MeanCaptureFraction)
+	fmt.Fprintf(out, "deanonymization            %d/%d correct (%.0f%%)\n",
 		res.DeanonCorrect, res.DeanonTrials, 100*res.DeanonAccuracy())
-	fmt.Println("(paper: interception keeps connections alive; correlation of data vs")
-	fmt.Println(" ACK byte counts exactly deanonymizes the client)")
+	fmt.Fprintln(out, "(paper: interception keeps connections alive; correlation of data vs")
+	fmt.Fprintln(out, " ACK byte counts exactly deanonymizes the client)")
 	return nil
 }
 
-func (a *app) defend() error {
+func (a *app) defend(out io.Writer) error {
 	st, err := a.getStream()
+	if err != nil {
+		return err
+	}
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
 	cfg := quicksand.DefaultDefenseStudyConfig()
 	cfg.Seed = a.seed
-	res, err := a.world.RunDefenseStudy(st, cfg)
+	cfg.Workers = a.workers
+	res, err := w.RunDefenseStudy(st, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E5: countermeasures (§5) ==")
-	fmt.Printf("vanilla circuits unsafe (static oracle)    %.1f%%\n", 100*res.UnsafeVanillaStatic)
-	fmt.Printf("vanilla circuits unsafe (dynamics oracle)  %.1f%%\n", 100*res.UnsafeVanillaDynamics)
-	fmt.Printf("AS-aware selection found safe circuit      %v\n", res.ASAwareFound)
-	fmt.Printf("guard AS-path length  short-pref=%.2f  vanilla=%.2f\n",
+	fmt.Fprintln(out, "== E5: countermeasures (§5) ==")
+	fmt.Fprintf(out, "vanilla circuits unsafe (static oracle)    %.1f%%\n", 100*res.UnsafeVanillaStatic)
+	fmt.Fprintf(out, "vanilla circuits unsafe (dynamics oracle)  %.1f%%\n", 100*res.UnsafeVanillaDynamics)
+	fmt.Fprintf(out, "AS-aware selection found safe circuit      %v\n", res.ASAwareFound)
+	fmt.Fprintf(out, "guard AS-path length  short-pref=%.2f  vanilla=%.2f\n",
 		res.ShortGuardMeanPathLen, res.VanillaGuardMeanPathLen)
-	fmt.Printf("monitor false-alarm rate                   %.4f per update\n", res.FalseAlarmRate)
-	fmt.Printf("injected hijacks detected                  %d/%d\n", res.HijacksDetected, res.HijacksInjected)
-	fmt.Printf("injected more-specifics detected           %d/%d\n", res.MoreSpecificsCaught, res.HijacksInjected)
-	fmt.Println("(paper: aggressive detection — false positives acceptable, false negatives not)")
+	fmt.Fprintf(out, "monitor false-alarm rate                   %.4f per update\n", res.FalseAlarmRate)
+	fmt.Fprintf(out, "injected hijacks detected                  %d/%d\n", res.HijacksDetected, res.HijacksInjected)
+	fmt.Fprintf(out, "injected more-specifics detected           %d/%d\n", res.MoreSpecificsCaught, res.HijacksInjected)
+	fmt.Fprintln(out, "(paper: aggressive detection — false positives acceptable, false negatives not)")
 	return nil
 }
 
-func (a *app) convergence() error {
+func (a *app) convergence(out io.Writer) error {
 	st, err := a.getStream()
 	if err != nil {
 		return err
 	}
-	res, err := a.world.RunConvergence(st, 5*time.Minute, analysis.FilterHeuristic)
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E6 (extension): convergence transients (§3.1 discussion) ==")
-	fmt.Println("transient ASes (<5min)   CCDF (% of samples >=)")
-	ccdfRows(res.CCDF, []float64{1, 2, 3, 5, 10})
-	fmt.Printf("samples: %d   any transient observer: %.0f%%   mean: %.2f\n",
+	res, err := w.RunConvergence(st, 5*time.Minute, analysis.FilterHeuristic)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== E6 (extension): convergence transients (§3.1 discussion) ==")
+	fmt.Fprintln(out, "transient ASes (<5min)   CCDF (% of samples >=)")
+	ccdfRows(out, res.CCDF, []float64{1, 2, 3, 5, 10})
+	fmt.Fprintf(out, "samples: %d   any transient observer: %.0f%%   mean: %.2f\n",
 		len(res.Transients), 100*res.FractionWithAny, res.MeanTransient)
-	fmt.Println("(these ASes cannot run timing analysis, but each learns the client")
-	fmt.Println(" talks to a Tor guard — membership alone can incriminate)")
+	fmt.Fprintln(out, "(these ASes cannot run timing analysis, but each learns the client")
+	fmt.Fprintln(out, " talks to a Tor guard — membership alone can incriminate)")
 	return nil
 }
 
-func (a *app) rotation() error {
+func (a *app) rotation(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
 	cfg := quicksand.DefaultRotationStudyConfig()
 	cfg.Seed = a.seed
+	cfg.Workers = a.workers
 	cfg.EvolveMonthly = true
 	if a.scale == "small" {
 		cfg.Clients = 150
 	}
 	// When the month stream has already been simulated, feed the
 	// *measured* per-month extra-AS distribution (F3R) into the model
-	// instead of the built-in default.
+	// instead of the built-in default. (Under "all" the stream is always
+	// built before the fan-out starts, so this is deterministic there.)
 	if a.strm != nil {
 		if f3r, err := w.RunFig3Right(a.strm, 5*time.Minute, analysis.FilterHeuristic); err == nil {
 			cfg.ExtraASesPerMonth = f3r.ExtraSamples()
@@ -464,47 +538,48 @@ func (a *app) rotation() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E7 (extension): guard lifetime study (§2, f = 0.02) ==")
-	fmt.Print("month ")
+	fmt.Fprintln(out, "== E7 (extension): guard lifetime study (§2, f = 0.02) ==")
+	fmt.Fprint(out, "month ")
 	for _, c := range res.Curves {
-		fmt.Printf("  %2d-month", c.LifetimeMonths)
+		fmt.Fprintf(out, "  %2d-month", c.LifetimeMonths)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for m := 0; m < cfg.Months; m += 3 {
-		fmt.Printf("%5d ", m+1)
+		fmt.Fprintf(out, "%5d ", m+1)
 		for _, c := range res.Curves {
-			fmt.Printf("  %7.1f%%", 100*c.CompromisedFrac[m])
+			fmt.Fprintf(out, "  %7.1f%%", 100*c.CompromisedFrac[m])
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	fmt.Println("(fraction of clients with an AS-level compromise opportunity; longer")
-	fmt.Println(" lifetimes slow relay-driven exposure but churn degrades both)")
+	fmt.Fprintln(out, "(fraction of clients with an AS-level compromise opportunity; longer")
+	fmt.Fprintln(out, " lifetimes slow relay-driven exposure but churn degrades both)")
 	return nil
 }
 
-func (a *app) rov() error {
+func (a *app) rov(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
 	cfg := quicksand.DefaultROVStudyConfig()
 	cfg.Seed = a.seed
+	cfg.Workers = a.workers
 	res, err := w.RunROVStudy(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E8 (extension): route-origin validation deployment (conclusion) ==")
-	fmt.Println("deployment  mean-capture  victim-protected")
+	fmt.Fprintln(out, "== E8 (extension): route-origin validation deployment (conclusion) ==")
+	fmt.Fprintln(out, "deployment  mean-capture  victim-protected")
 	for _, p := range res.Points {
-		fmt.Printf("%9.0f%%  %11.1f%%  %15.0f%%\n",
+		fmt.Fprintf(out, "%9.0f%%  %11.1f%%  %15.0f%%\n",
 			100*p.Deployment, 100*p.MeanCapture, 100*p.VictimProtected)
 	}
-	fmt.Println("(ROV at the highest-degree ASes first; exact-prefix hijacks of the top")
-	fmt.Println(" guard prefix shrink as validators shield their customer cones)")
+	fmt.Fprintln(out, "(ROV at the highest-degree ASes first; exact-prefix hijacks of the top")
+	fmt.Fprintln(out, " guard prefix shrink as validators shield their customer cones)")
 	return nil
 }
 
-func (a *app) detect() error {
+func (a *app) detect(out io.Writer) error {
 	w, err := a.getWorld()
 	if err != nil {
 		return err
@@ -521,16 +596,16 @@ func (a *app) detect() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("== E9 (extension): live in-stream attack detection (§5) ==")
-	fmt.Printf("hijacks injected        %d\n", res.Attacks)
-	fmt.Printf("visible at collectors   %d\n", res.Visible)
-	fmt.Printf("detected                %d (%.0f%% of visible)\n",
+	fmt.Fprintln(out, "== E9 (extension): live in-stream attack detection (§5) ==")
+	fmt.Fprintf(out, "hijacks injected        %d\n", res.Attacks)
+	fmt.Fprintf(out, "visible at collectors   %d\n", res.Visible)
+	fmt.Fprintf(out, "detected                %d (%.0f%% of visible)\n",
 		res.Detected, pct(res.Detected, res.Visible))
-	fmt.Printf("mean detection latency  %v\n", res.MeanLatency.Round(time.Second))
-	fmt.Printf("false alarms            %d over %d observed updates\n",
+	fmt.Fprintf(out, "mean detection latency  %v\n", res.MeanLatency.Round(time.Second))
+	fmt.Fprintf(out, "false alarms            %d over %d observed updates\n",
 		res.FalseAlarms, res.ObservedUpdates)
-	fmt.Println("(the monitor sees attacks embedded in realistic churn; §5 requires")
-	fmt.Println(" no false negatives, and latency bounds the anonymity-set exposure)")
+	fmt.Fprintln(out, "(the monitor sees attacks embedded in realistic churn; §5 requires")
+	fmt.Fprintln(out, " no false negatives, and latency bounds the anonymity-set exposure)")
 	return nil
 }
 
@@ -541,21 +616,25 @@ func pct(a, b int) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
-func (a *app) ablation() error {
+func (a *app) ablation(out io.Writer) error {
 	st, err := a.getStream()
 	if err != nil {
 		return err
 	}
-	res, err := a.world.RunFilterAblation(st)
+	w, err := a.getWorld()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== ablation: routing-table-transfer filtering (§4 methodology) ==")
-	fmt.Println("filter        samples  median-changes  ratio>1  max-ratio")
+	res, err := w.RunFilterAblation(st)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== ablation: routing-table-transfer filtering (§4 methodology) ==")
+	fmt.Fprintln(out, "filter        samples  median-changes  ratio>1  max-ratio")
 	for _, r := range res.Rows {
-		fmt.Printf("%-12s  %7d  %14.1f  %6.1f%%  %8.0fx\n",
+		fmt.Fprintf(out, "%-12s  %7d  %14.1f  %6.1f%%  %8.0fx\n",
 			r.Name, r.Samples, r.MedianChanges, 100*r.FractionAboveMedian, r.MaxRatio)
 	}
-	fmt.Println("(the burst heuristic — usable on real archives — must track ground truth)")
+	fmt.Fprintln(out, "(the burst heuristic — usable on real archives — must track ground truth)")
 	return nil
 }

@@ -13,11 +13,58 @@ import (
 	"quicksand/internal/bgpsim"
 	"quicksand/internal/correlation"
 	"quicksand/internal/defense"
+	"quicksand/internal/par"
 	"quicksand/internal/stats"
 	"quicksand/internal/tcpsim"
 	"quicksand/internal/torconsensus"
 	"quicksand/internal/torpath"
 )
+
+// --- trial sampling helpers shared by the parallel studies ---
+//
+// Every study fans its independent trials out over a par.Map pool and
+// gives trial i its own RNG seeded par.TrialSeed(cfg.Seed, i), so the
+// sampled trial set is a pure function of the study seed — identical
+// for any worker count.
+
+// sampleDistinctASNs draws n DISTINCT ASNs from pool (a partial
+// Fisher-Yates over a copy), clamping n to the pool size. Sampling with
+// replacement here would let duplicate client ASes skew the
+// anonymity-set denominator.
+func sampleDistinctASNs(rng *rand.Rand, pool []bgp.ASN, n int) []bgp.ASN {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	s := append([]bgp.ASN(nil), pool...)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(s)-i)
+		s[i], s[j] = s[j], s[i]
+	}
+	return s[:n]
+}
+
+// sampleAttacker draws an AS distinct from victim, resampling on
+// collision (bounded), then falling back to a linear scan from a random
+// start so a valid attacker is always found when one exists. Skipping
+// the trial on collision instead would silently shrink the study below
+// its configured trial count.
+func sampleAttacker(rng *rand.Rand, pool []bgp.ASN, victim bgp.ASN) (bgp.ASN, error) {
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("quicksand: empty attacker pool")
+	}
+	for tries := 0; tries < 64; tries++ {
+		if a := pool[rng.Intn(len(pool))]; a != victim {
+			return a, nil
+		}
+	}
+	start := rng.Intn(len(pool))
+	for off := 0; off < len(pool); off++ {
+		if a := pool[(start+off)%len(pool)]; a != victim {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("quicksand: no attacker AS distinct from %v", victim)
+}
 
 // --- E1: dataset / methodology statistics (§4) ---
 
@@ -209,8 +256,12 @@ type HijackStudyConfig struct {
 	// prefixes (the "very attractive targets" of §4).
 	TopPrefixes int
 	// ClientASes is the sample of candidate client networks for the
-	// anonymity-set measurement.
+	// anonymity-set measurement (distinct ASes, clamped to the topology
+	// size).
 	ClientASes int
+	// Workers bounds the trial-level parallelism; <1 means one worker
+	// per CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultHijackStudyConfig samples 20 attackers against the top 5 guard
@@ -273,12 +324,15 @@ func (w *World) guardPrefixesByBandwidth() []netip.Prefix {
 // RunHijackStudy launches same-prefix hijacks from sampled attackers
 // against the top guard prefixes, measuring capture and anonymity-set
 // reduction, plus one more-specific hijack and the top-prefix
-// surveillance share.
+// surveillance share. Trials fan out over cfg.Workers goroutines; each
+// trial derives its own RNG from the study seed, so the result is
+// bit-for-bit identical for any worker count and always contains
+// exactly TopPrefixes×Attackers trials (attacker==victim collisions are
+// resampled, not dropped).
 func (w *World) RunHijackStudy(cfg HijackStudyConfig) (*HijackStudyResult, error) {
 	if cfg.Attackers < 1 || cfg.TopPrefixes < 1 || cfg.ClientASes < 1 {
 		return nil, fmt.Errorf("quicksand: hijack study needs positive sample sizes")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	prefixes := w.guardPrefixesByBandwidth()
 	if len(prefixes) == 0 {
 		return nil, fmt.Errorf("quicksand: no guard prefixes")
@@ -287,31 +341,34 @@ func (w *World) RunHijackStudy(cfg HijackStudyConfig) (*HijackStudyResult, error
 		cfg.TopPrefixes = len(prefixes)
 	}
 	all := w.Topology.ASNs()
-	clients := make([]bgp.ASN, 0, cfg.ClientASes)
-	for len(clients) < cfg.ClientASes {
-		clients = append(clients, all[rng.Intn(len(all))])
-	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clients := sampleDistinctASNs(rng, all, cfg.ClientASes)
 
-	var captures, anonFracs []float64
-	res := &HijackStudyResult{}
-	for _, p := range prefixes[:cfg.TopPrefixes] {
-		victim := w.Origins[p]
-		for a := 0; a < cfg.Attackers; a++ {
-			attacker := all[rng.Intn(len(all))]
-			if attacker == victim {
-				continue
-			}
-			h, err := attacks.Hijack(w.Topology, victim, attacker)
-			if err != nil {
-				return nil, err
-			}
-			res.Trials++
-			captures = append(captures, h.CaptureFraction)
-			anon := h.AnonymitySet(clients)
-			anonFracs = append(anonFracs, float64(len(anon))/float64(len(clients)))
+	type trial struct{ capture, anonFrac float64 }
+	nTrials := cfg.TopPrefixes * cfg.Attackers
+	outs, err := par.Map(cfg.Workers, nTrials, func(i int) (trial, error) {
+		victim := w.Origins[prefixes[i/cfg.Attackers]]
+		trng := rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, i)))
+		attacker, err := sampleAttacker(trng, all, victim)
+		if err != nil {
+			return trial{}, err
 		}
+		h, err := attacks.Hijack(w.Topology, victim, attacker)
+		if err != nil {
+			return trial{}, err
+		}
+		anon := h.AnonymitySet(clients)
+		return trial{h.CaptureFraction, float64(len(anon)) / float64(len(clients))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var err error
+	res := &HijackStudyResult{Trials: len(outs)}
+	captures := make([]float64, len(outs))
+	anonFracs := make([]float64, len(outs))
+	for i, t := range outs {
+		captures[i], anonFracs[i] = t.capture, t.anonFrac
+	}
 	if res.CaptureFraction, err = stats.Summarize(captures); err != nil {
 		return nil, err
 	}
@@ -319,14 +376,13 @@ func (w *World) RunHijackStudy(cfg HijackStudyConfig) (*HijackStudyResult, error
 		return nil, err
 	}
 
-	// One more-specific hijack for the comparison row.
+	// One more-specific hijack for the comparison row; its attacker draw
+	// gets the trial stream one past the hijack trials.
 	victim := w.Origins[prefixes[0]]
-	var attacker bgp.ASN
-	for {
-		attacker = all[rng.Intn(len(all))]
-		if attacker != victim {
-			break
-		}
+	msRng := rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, nTrials)))
+	attacker, err := sampleAttacker(msRng, all, victim)
+	if err != nil {
+		return nil, err
 	}
 	ms, err := attacks.MoreSpecificHijack(w.Topology, victim, attacker)
 	if err != nil {
@@ -356,6 +412,9 @@ type InterceptStudyConfig struct {
 	Decoys   int
 	FileSize int
 	Bin      time.Duration
+	// Workers bounds the trial-level parallelism; <1 means one worker
+	// per CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultInterceptStudyConfig runs 15 interception trials with 2 MB
@@ -392,53 +451,82 @@ func (r *InterceptStudyResult) DeanonAccuracy() float64 {
 
 // RunInterceptStudy launches prefix interceptions against the
 // highest-bandwidth guard prefixes and, for each effective interception,
-// runs the end-to-end asymmetric deanonymization attack.
+// runs the end-to-end asymmetric deanonymization attack. Trials fan out
+// over cfg.Workers goroutines with per-trial RNG derivation, so the
+// result is identical for any worker count and always contains exactly
+// cfg.Trials trials.
 func (w *World) RunInterceptStudy(cfg InterceptStudyConfig) (*InterceptStudyResult, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("quicksand: need at least one trial")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	prefixes := w.guardPrefixesByBandwidth()
 	if len(prefixes) == 0 {
 		return nil, fmt.Errorf("quicksand: no guard prefixes")
 	}
 	all := w.Topology.ASNs()
-	res := &InterceptStudyResult{}
-	var captureSum float64
-	for i := 0; i < cfg.Trials; i++ {
+
+	type trial struct {
+		clean, effective bool
+		capture          float64
+		deanonRan        bool
+		deanonMatched    bool
+	}
+	outs, err := par.Map(cfg.Workers, cfg.Trials, func(i int) (trial, error) {
 		victim := w.Origins[prefixes[i%min(len(prefixes), 10)]]
-		attacker := all[rng.Intn(len(all))]
-		if attacker == victim {
-			continue
+		tseed := par.TrialSeed(cfg.Seed, i)
+		trng := rand.New(rand.NewSource(tseed))
+		attacker, err := sampleAttacker(trng, all, victim)
+		if err != nil {
+			return trial{}, err
 		}
-		res.Trials++
+		var t trial
 		ir, err := attacks.Intercept(w.Topology, victim, attacker)
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
 		if !ir.Success {
-			continue
+			return t, nil
 		}
-		res.CleanPath++
+		t.clean = true
 		if len(ir.Captured) == 0 {
-			continue
+			return t, nil
 		}
-		res.Effective++
-		captureSum += ir.CaptureFraction
+		t.effective = true
+		t.capture = ir.CaptureFraction
 
 		dcfg := attacks.AsymmetricConfig{
-			Seed:     cfg.Seed + int64(i)*104729,
+			Seed:     par.TrialSeed(tseed, 1),
 			Decoys:   cfg.Decoys,
 			FileSize: cfg.FileSize,
 			Bin:      cfg.Bin,
 		}
 		dr, err := attacks.AsymmetricDeanonymization(dcfg)
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
-		res.DeanonTrials++
-		if dr.Matched {
-			res.DeanonCorrect++
+		t.deanonRan = true
+		t.deanonMatched = dr.Matched
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &InterceptStudyResult{Trials: len(outs)}
+	var captureSum float64
+	for _, t := range outs {
+		if t.clean {
+			res.CleanPath++
+		}
+		if t.effective {
+			res.Effective++
+			captureSum += t.capture
+		}
+		if t.deanonRan {
+			res.DeanonTrials++
+			if t.deanonMatched {
+				res.DeanonCorrect++
+			}
 		}
 	}
 	if res.Effective > 0 {
@@ -461,6 +549,9 @@ type DefenseStudyConfig struct {
 	// InjectedHijacks is the number of synthetic attack announcements
 	// appended for the detection measurement.
 	InjectedHijacks int
+	// Workers bounds the circuit-judging parallelism; <1 means one
+	// worker per CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultDefenseStudyConfig samples 80 circuits and injects 10 attacks.
@@ -533,22 +624,37 @@ func (w *World) RunDefenseStudy(st *bgpsim.Stream, cfg DefenseStudyConfig) (*Def
 	awareStatic := &defense.ASAwareSelector{Selector: sel, Oracle: static, RelayAS: w.RelayAS}
 	awareDyn := &defense.ASAwareSelector{Selector: sel, Oracle: dynamics, RelayAS: w.RelayAS}
 
-	var unsafeS, unsafeD, judged int
-	for i := 0; i < cfg.Circuits; i++ {
-		c, err := sel.BuildCircuit(gs, 443)
+	// Circuit sampling and safety judgement fan out per circuit: each
+	// circuit gets its own selector seeded from the trial index (the
+	// oracles are concurrency-safe and their cached route tables are
+	// deterministic regardless of which worker computes them first).
+	type verdict struct{ judged, unsafeStatic, unsafeDyn bool }
+	verdicts, err := par.Map(cfg.Workers, cfg.Circuits, func(i int) (verdict, error) {
+		csel := torpath.NewSelector(w.Consensus, par.TrialSeed(cfg.Seed, i))
+		c, err := csel.BuildCircuit(gs, 443)
 		if err != nil {
-			return nil, err
+			return verdict{}, err
 		}
 		okS, errS := awareStatic.CircuitSafe(c, clientAS, destAS)
 		okD, errD := awareDyn.CircuitSafe(c, clientAS, destAS)
 		if errS != nil || errD != nil {
+			return verdict{}, nil
+		}
+		return verdict{true, !okS, !okD}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var unsafeS, unsafeD, judged int
+	for _, v := range verdicts {
+		if !v.judged {
 			continue
 		}
 		judged++
-		if !okS {
+		if v.unsafeStatic {
 			unsafeS++
 		}
-		if !okD {
+		if v.unsafeDyn {
 			unsafeD++
 		}
 	}

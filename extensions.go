@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"quicksand/internal/analysis"
@@ -22,6 +23,7 @@ import (
 	"quicksand/internal/bgp"
 	"quicksand/internal/bgpsim"
 	"quicksand/internal/defense"
+	"quicksand/internal/par"
 	"quicksand/internal/stats"
 	"quicksand/internal/topology"
 	"quicksand/internal/torconsensus"
@@ -99,6 +101,9 @@ type RotationStudyConfig struct {
 	// leave the network force replacement even under long lifetimes,
 	// which is how real guard sets erode.
 	EvolveMonthly bool
+	// Workers bounds the per-client parallelism; <1 means one worker
+	// per CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultRotationStudyConfig compares 1-month and 9-month guard
@@ -134,6 +139,46 @@ func (r *RotationStudyResult) FinalFrac(lifetime int) float64 {
 	return -1
 }
 
+// routeMemo is a concurrency-safe per-destination route-table cache.
+// Route computation is deterministic, so it does not matter which worker
+// populates an entry first; same-destination callers share one compute.
+type routeMemo struct {
+	g  *topology.Graph
+	mu sync.Mutex
+	m  map[bgp.ASN]*routeMemoEntry
+}
+
+type routeMemoEntry struct {
+	once sync.Once
+	rt   topology.RouteTable
+	err  error
+}
+
+func newRouteMemo(g *topology.Graph) *routeMemo {
+	return &routeMemo{g: g, m: make(map[bgp.ASN]*routeMemoEntry)}
+}
+
+func (rm *routeMemo) pathFrom(src, dst bgp.ASN) ([]bgp.ASN, error) {
+	rm.mu.Lock()
+	e, ok := rm.m[dst]
+	if !ok {
+		e = &routeMemoEntry{}
+		rm.m[dst] = e
+	}
+	rm.mu.Unlock()
+	e.once.Do(func() {
+		e.rt, e.err = rm.g.ComputeRoutes(topology.Origin{ASN: dst})
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	path, ok := e.rt.PathFrom(src)
+	if !ok {
+		return nil, fmt.Errorf("quicksand: client %v cannot reach guard AS %v", src, dst)
+	}
+	return path, nil
+}
+
 // RunRotationStudy simulates clients over cfg.Months months. Each client
 // keeps a guard set for the configured lifetime, then rotates. Every
 // month, every client-guard pair is exposed to the ASes on the (static)
@@ -144,6 +189,11 @@ func (r *RotationStudyResult) FinalFrac(lifetime int) float64 {
 // to new (possibly malicious) relays and new AS paths, but §3.1's churn
 // means even a fixed guard leaks to more ASes every month — rotation is
 // not the only way anonymity degrades.
+//
+// The Monte Carlo clients are mutually independent: per lifetime, the
+// evolved consensus sequence is computed once, then clients fan out over
+// cfg.Workers goroutines, each with an RNG derived from (seed, lifetime,
+// client) — so curves are identical for any worker count.
 func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult, error) {
 	if cfg.Clients < 1 || cfg.Months < 1 || len(cfg.Lifetimes) == 0 {
 		return nil, fmt.Errorf("quicksand: rotation study needs clients, months and lifetimes")
@@ -169,108 +219,101 @@ func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult,
 	if len(stubs) == 0 {
 		return nil, fmt.Errorf("quicksand: no stub ASes for clients")
 	}
-
-	// Route-table cache per guard AS (destination).
-	tables := make(map[bgp.ASN]topology.RouteTable)
-	pathASes := func(client, guardAS bgp.ASN) ([]bgp.ASN, error) {
-		rt, ok := tables[guardAS]
-		if !ok {
-			var err error
-			rt, err = w.Topology.ComputeRoutes(topology.Origin{ASN: guardAS})
-			if err != nil {
-				return nil, err
-			}
-			tables[guardAS] = rt
-		}
-		path, ok := rt.PathFrom(client)
-		if !ok {
-			return nil, fmt.Errorf("quicksand: client %v cannot reach guard AS %v", client, guardAS)
-		}
-		return path, nil
+	// Transit pool for churn-added observers, computed once.
+	transit := append(append([]bgp.ASN(nil), w.Topology.TierASNs(1)...), w.Topology.TierASNs(2)...)
+	if len(transit) == 0 {
+		transit = w.Topology.ASNs()
 	}
+
+	routes := newRouteMemo(w.Topology)
+	start := w.Consensus.ValidAfter
 
 	res := &RotationStudyResult{}
 	for _, lifetime := range cfg.Lifetimes {
 		if lifetime < 1 {
 			return nil, fmt.Errorf("quicksand: lifetime %d months invalid", lifetime)
 		}
-		curve := RotationCurve{LifetimeMonths: lifetime, CompromisedFrac: make([]float64, cfg.Months)}
-		// Per-lifetime RNG so curves differ only by rotation schedule.
-		lrng := rand.New(rand.NewSource(cfg.Seed + int64(lifetime)*1_000_003))
-		cons := w.Consensus
-		// Evolution mutates the hosting plan (joiners get addresses), so
-		// work on a copy to keep lifetimes comparable and the world
-		// pristine.
-		hosting := &torconsensus.Hosting{
-			Prefixes:    w.Hosting.Prefixes,
-			RelayPrefix: make(map[netip.Addr]netip.Prefix, len(w.Hosting.RelayPrefix)),
+		// Month-by-month consensus sequence and guard-liveness index,
+		// shared (read-only) by every client. Evolution mutates the
+		// hosting plan (joiners get addresses), so work on a copy to
+		// keep lifetimes comparable and the world pristine.
+		type monthState struct {
+			cons  *torconsensus.Consensus
+			alive map[string]bool
 		}
-		for a, p := range w.Hosting.RelayPrefix {
-			hosting.RelayPrefix[a] = p
-		}
-		sel := torpath.NewSelector(cons, cfg.Seed+int64(lifetime))
-		start := cons.ValidAfter
-
-		compromised := make([]bool, cfg.Clients)
-		clientAS := make([]bgp.ASN, cfg.Clients)
-		guardSets := make([]*torpath.GuardSet, cfg.Clients)
-		for c := range clientAS {
-			clientAS[c] = stubs[lrng.Intn(len(stubs))]
-		}
-		count := 0
-		for m := 0; m < cfg.Months; m++ {
-			now := start.Add(time.Duration(m) * 30 * 24 * time.Hour)
-			if cfg.EvolveMonthly && m > 0 {
-				var err error
-				cons, err = torconsensus.Evolve(cons, hosting,
-					torconsensus.DefaultEvolveConfig(cfg.Seed+int64(m)*31, len(cons.Relays)), now)
-				if err != nil {
-					return nil, err
-				}
-				sel = torpath.NewSelector(cons, cfg.Seed+int64(lifetime)*977+int64(m))
+		months := make([]monthState, cfg.Months)
+		{
+			cons := w.Consensus
+			hosting := &torconsensus.Hosting{
+				Prefixes:    w.Hosting.Prefixes,
+				RelayPrefix: make(map[netip.Addr]netip.Prefix, len(w.Hosting.RelayPrefix)),
 			}
-			// Identity index for guard-liveness checks under evolution.
-			var alive map[string]bool
-			if cfg.EvolveMonthly {
-				alive = make(map[string]bool, len(cons.Relays))
-				for i := range cons.Relays {
-					if cons.Relays[i].IsGuard() {
-						alive[cons.Relays[i].Identity] = true
-					}
-				}
+			for a, p := range w.Hosting.RelayPrefix {
+				hosting.RelayPrefix[a] = p
 			}
-			for c := 0; c < cfg.Clients; c++ {
-				if compromised[c] {
-					continue
-				}
-				// Rotate per the lifetime.
-				if guardSets[c] == nil || m%lifetime == 0 {
-					gs, err := sel.PickGuards(torpath.DefaultNumGuards, now)
+			for m := 0; m < cfg.Months; m++ {
+				now := start.Add(time.Duration(m) * 30 * 24 * time.Hour)
+				if cfg.EvolveMonthly && m > 0 {
+					var err error
+					cons, err = torconsensus.Evolve(cons, hosting,
+						torconsensus.DefaultEvolveConfig(cfg.Seed+int64(m)*31, len(cons.Relays)), now)
 					if err != nil {
 						return nil, err
 					}
-					gs.Lifetime = time.Duration(lifetime) * 30 * 24 * time.Hour
-					guardSets[c] = gs
+				}
+				ms := monthState{cons: cons}
+				if cfg.EvolveMonthly {
+					ms.alive = make(map[string]bool, len(cons.Relays))
+					for i := range cons.Relays {
+						if cons.Relays[i].IsGuard() {
+							ms.alive[cons.Relays[i].Identity] = true
+						}
+					}
+				}
+				months[m] = ms
+			}
+		}
+
+		// Fan the independent clients out; each returns the first month
+		// (index) with a compromise opportunity, or -1.
+		lseed := par.TrialSeed(cfg.Seed, lifetime)
+		firstHit, err := par.Map(cfg.Workers, cfg.Clients, func(c int) (int, error) {
+			cseed := par.TrialSeed(lseed, c)
+			crng := rand.New(rand.NewSource(cseed))
+			client := stubs[crng.Intn(len(stubs))]
+			var gs *torpath.GuardSet
+			for m := 0; m < cfg.Months; m++ {
+				now := start.Add(time.Duration(m) * 30 * 24 * time.Hour)
+				ms := &months[m]
+				// Per-(client, month) selector: guard draws must not
+				// depend on other clients' draws.
+				sel := torpath.NewSelector(ms.cons, par.TrialSeed(cseed, m+1))
+				if gs == nil || m%lifetime == 0 {
+					picked, err := sel.PickGuards(torpath.DefaultNumGuards, now)
+					if err != nil {
+						return 0, err
+					}
+					picked.Lifetime = time.Duration(lifetime) * 30 * 24 * time.Hour
+					gs = picked
 				} else if cfg.EvolveMonthly {
 					// Replace guards that left the network or lost the
 					// Guard role — the erosion long lifetimes suffer.
-					gs := guardSets[c]
 					for gi, g := range gs.Guards {
-						if alive[g.Identity] {
+						if ms.alive[g.Identity] {
 							continue
 						}
-						repl := sel.WeightedPick(cons.Guards(), gs.Guards)
+						repl := sel.WeightedPick(ms.cons.Guards(), gs.Guards)
 						if repl != nil {
 							gs.Guards[gi] = repl
 						}
 					}
 				}
-				for _, g := range guardSets[c].Guards {
+				for _, g := range gs.Guards {
 					guardAS, ok := w.RelayAS(g.Addr)
 					if !ok {
 						continue
 					}
-					path, err := pathASes(clientAS[c], guardAS)
+					path, err := routes.pathFrom(client, guardAS)
 					if err != nil {
 						continue
 					}
@@ -281,22 +324,34 @@ func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult,
 							break
 						}
 					}
-					// Churn adds extra observers this month.
+					// Churn adds extra observers this month, drawn from
+					// the transit pool.
 					if !exposed {
-						k := extras[lrng.Intn(len(extras))]
+						k := extras[crng.Intn(len(extras))]
 						for i := 0; i < k; i++ {
-							// An extra AS drawn from the transit pool.
-							if malicious[randomTransit(w.Topology, lrng)] {
+							if malicious[transit[crng.Intn(len(transit))]] {
 								exposed = true
 								break
 							}
 						}
 					}
 					if exposed {
-						compromised[c] = true
-						count++
-						break
+						return m, nil
 					}
+				}
+			}
+			return -1, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		curve := RotationCurve{LifetimeMonths: lifetime, CompromisedFrac: make([]float64, cfg.Months)}
+		for m := 0; m < cfg.Months; m++ {
+			count := 0
+			for _, h := range firstHit {
+				if h >= 0 && h <= m {
+					count++
 				}
 			}
 			curve.CompromisedFrac[m] = float64(count) / float64(cfg.Clients)
@@ -307,18 +362,6 @@ func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult,
 		return res.Curves[i].LifetimeMonths < res.Curves[j].LifetimeMonths
 	})
 	return res, nil
-}
-
-// randomTransit draws a random transit (tier-1/2) AS — the population
-// that transiently appears on churned paths.
-func randomTransit(g *topology.Graph, rng *rand.Rand) bgp.ASN {
-	t1 := g.TierASNs(1)
-	t2 := g.TierASNs(2)
-	pool := append(append([]bgp.ASN(nil), t1...), t2...)
-	if len(pool) == 0 {
-		pool = g.ASNs()
-	}
-	return pool[rng.Intn(len(pool))]
 }
 
 // --- E8: route-origin validation deployment study (conclusion) ---
@@ -334,6 +377,9 @@ type ROVStudyConfig struct {
 	// TopDown deploys at the highest-degree ASes first (how RPKI is
 	// actually rolling out); false deploys uniformly at random.
 	TopDown bool
+	// Workers bounds the trial-level parallelism; <1 means one worker
+	// per CPU. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultROVStudyConfig sweeps 0–100% deployment, top-degree first.
@@ -398,8 +444,9 @@ func (w *World) RunROVStudy(cfg ROVStudyConfig) (*ROVStudyResult, error) {
 		}
 	}
 
-	res := &ROVStudyResult{}
-	for _, d := range cfg.Deployments {
+	// Validator sets per deployment level (read-only under the fan-out).
+	validatorSets := make([]map[bgp.ASN]bool, len(cfg.Deployments))
+	for di, d := range cfg.Deployments {
 		if d < 0 || d > 1 {
 			return nil, fmt.Errorf("quicksand: deployment %v out of [0,1]", d)
 		}
@@ -408,15 +455,30 @@ func (w *World) RunROVStudy(cfg ROVStudyConfig) (*ROVStudyResult, error) {
 		for _, asn := range order[:n] {
 			validators[asn] = true
 		}
+		validatorSets[di] = validators
+	}
+
+	// Flatten the deployment × attacker grid into independent trials.
+	captures, err := par.Map(cfg.Workers, len(cfg.Deployments)*cfg.Attackers, func(i int) (float64, error) {
+		validators := validatorSets[i/cfg.Attackers]
+		a := attackers[i%cfg.Attackers]
+		h, err := attacks.HijackWithROV(w.Topology, victim, a, validators)
+		if err != nil {
+			return 0, err
+		}
+		return h.CaptureFraction, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ROVStudyResult{}
+	for di, d := range cfg.Deployments {
 		var sum float64
 		protected := 0
-		for _, a := range attackers {
-			h, err := attacks.HijackWithROV(w.Topology, victim, a, validators)
-			if err != nil {
-				return nil, err
-			}
-			sum += h.CaptureFraction
-			if h.CaptureFraction < 0.05 {
+		for _, c := range captures[di*cfg.Attackers : (di+1)*cfg.Attackers] {
+			sum += c
+			if c < 0.05 {
 				protected++
 			}
 		}

@@ -652,6 +652,18 @@ func poisson(rng *rand.Rand, mean float64) int {
 	if mean <= 0 {
 		return 0
 	}
+	// Knuth's product method needs exp(-mean) > 0; for mean ≳ 700 it
+	// underflows to 0 and the loop only terminates once p itself
+	// underflows, returning a garbage count (~700 regardless of mean).
+	// Large means use the normal limit N(mean, mean) instead, which is
+	// an excellent approximation well before the cutoff.
+	if mean > 500 {
+		k := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
 	l := math.Exp(-mean)
 	k := 0
 	p := 1.0

@@ -1,0 +1,51 @@
+package bgpsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPoisson covers the three regimes of the sampler: the zero/negative
+// short-circuit, Knuth's product method for ordinary means, and the
+// normal-approximation branch that replaces it where exp(-mean)
+// underflows (mean ≳ 700 used to spin until p underflowed and return a
+// garbage count near 700 for ANY large mean).
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	for _, mean := range []float64{0, -3} {
+		for i := 0; i < 100; i++ {
+			if k := poisson(rng, mean); k != 0 {
+				t.Fatalf("poisson(%v) = %d, want 0", mean, k)
+			}
+		}
+	}
+
+	for _, mean := range []float64{1.2, 1000} {
+		const n = 20_000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := poisson(rng, mean)
+			if k < 0 {
+				t.Fatalf("mean %v: negative sample %d", mean, k)
+			}
+			if float64(k) > mean+10*math.Sqrt(mean)+10 {
+				t.Fatalf("mean %v: absurd sample %d", mean, k)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		gotMean := sum / n
+		gotVar := sumSq/n - gotMean*gotMean
+		// Sample mean within 5 standard errors; variance within 10%
+		// (both mean and variance of a Poisson equal the rate).
+		tol := 5 * math.Sqrt(mean/n)
+		if math.Abs(gotMean-mean) > tol {
+			t.Fatalf("mean %v: sample mean %.3f (tolerance %.3f)", mean, gotMean, tol)
+		}
+		if gotVar < 0.9*mean || gotVar > 1.1*mean {
+			t.Fatalf("mean %v: sample variance %.3f, want ≈%v", mean, gotVar, mean)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package defense
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"quicksand/internal/bgp"
@@ -36,27 +37,40 @@ type PathOracle interface {
 
 // StaticOracle computes segment ASes from current best paths in a
 // topology, both directions included. Route tables are cached per
-// destination.
+// destination; the cache is safe for concurrent use, so one oracle can
+// serve every worker of a parallel study.
 type StaticOracle struct {
 	Graph *topology.Graph
-	cache map[bgp.ASN]topology.RouteTable
+
+	mu    sync.Mutex
+	cache map[bgp.ASN]*tableEntry
+}
+
+type tableEntry struct {
+	once sync.Once
+	rt   topology.RouteTable
+	err  error
 }
 
 // NewStaticOracle returns a StaticOracle over g.
 func NewStaticOracle(g *topology.Graph) *StaticOracle {
-	return &StaticOracle{Graph: g, cache: make(map[bgp.ASN]topology.RouteTable)}
+	return &StaticOracle{Graph: g, cache: make(map[bgp.ASN]*tableEntry)}
 }
 
 func (o *StaticOracle) table(dst bgp.ASN) (topology.RouteTable, error) {
-	if rt, ok := o.cache[dst]; ok {
-		return rt, nil
+	o.mu.Lock()
+	e, ok := o.cache[dst]
+	if !ok {
+		e = &tableEntry{}
+		o.cache[dst] = e
 	}
-	rt, err := o.Graph.ComputeRoutes(topology.Origin{ASN: dst})
-	if err != nil {
-		return nil, err
-	}
-	o.cache[dst] = rt
-	return rt, nil
+	o.mu.Unlock()
+	// Compute outside the map lock — concurrent lookups of other
+	// destinations proceed; same-destination callers share one compute.
+	e.once.Do(func() {
+		e.rt, e.err = o.Graph.ComputeRoutes(topology.Origin{ASN: dst})
+	})
+	return e.rt, e.err
 }
 
 // SegmentASes returns the union of ASes on the a→b and b→a best paths.

@@ -1,0 +1,115 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("got %v, %v", out, err)
+	}
+	out, err = Map(4, -3, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("negative n: got %v, %v", out, err)
+	}
+}
+
+func TestMapErrorSmallestIndex(t *testing.T) {
+	// Indices 7 and 23 both fail; every worker count must report 7.
+	for _, workers := range []int{1, 2, 8, 64} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Fatalf("workers=%d: err=%v", workers, err)
+		}
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	// After the failure at index 0, indices well beyond it must not all
+	// run: the pool stops dispatching past the smallest failing index.
+	var ran atomic.Int64
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Fatalf("%d trials ran after an index-0 failure", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(8, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum=%d", sum.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count ignored")
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0)=%d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5)=%d", got)
+	}
+}
+
+func TestTrialSeedDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for trial := 0; trial < 10_000; trial++ {
+		s := TrialSeed(1, trial)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: trials %d and %d -> %d", prev, trial, s)
+		}
+		seen[s] = trial
+	}
+	// Different roots diverge too.
+	if TrialSeed(1, 0) == TrialSeed(2, 0) {
+		t.Fatal("root seed has no effect")
+	}
+	// Pure function of (seed, trial).
+	if TrialSeed(42, 7) != TrialSeed(42, 7) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification plus the parallel-engine checks:
+#
+#   1. go build ./...                 (tier-1)
+#   2. go test ./...                  (tier-1)
+#   3. go vet ./...
+#   4. go test -race over the worker pool and every parallel study path
+#
+# Run from anywhere; operates on the repository root. Pass extra
+# arguments (e.g. -count=2) through to the race run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./internal/par/ ./... =="
+go test -race "$@" ./internal/par/ ./...
+
+echo "OK"
