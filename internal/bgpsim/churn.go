@@ -433,7 +433,7 @@ func restoreLink(g *topology.Graph, ev event) error {
 
 // explorationPath builds a plausible transient path from vantage v: v
 // temporarily routes through a non-best neighbor n, yielding v + n's path.
-// Returns nil when no loop-free alternate exists.
+// Returns nil when no loop-free policy-compliant alternate exists.
 func (s *Sim) explorationPath(g *topology.Graph, rt topology.RouteTable, v bgp.ASN, rng *rand.Rand) []bgp.ASN {
 	neighbors := g.Neighbors(v)
 	if len(neighbors) == 0 {
@@ -444,6 +444,19 @@ func (s *Sim) explorationPath(g *topology.Graph, rt topology.RouteTable, v bgp.A
 		n := neighbors[(start+k)%len(neighbors)]
 		best, ok := rt[v]
 		if ok && best.NextHop == n {
+			continue
+		}
+		// Gao-Rexford export rule at n: customer and self-originated
+		// routes go to every neighbor, but routes learned from a peer
+		// or provider are only exported to n's customers — v hears
+		// those only when n is v's provider. Without this check the
+		// transient path can contain a valley no real update would.
+		nr, ok := rt[n]
+		if !ok {
+			continue
+		}
+		if rel, _ := g.RelBetween(v, n); rel != topology.RelProvider &&
+			nr.Type != topology.RouteOrigin && nr.Type != topology.RouteCustomer {
 			continue
 		}
 		sub, ok := rt.PathFrom(n)

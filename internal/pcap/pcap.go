@@ -11,6 +11,7 @@
 package pcap
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -144,10 +145,14 @@ func (r *Reader) Next() (*Packet, error) {
 	if capLen < 0 || capLen > r.SnapLen+65536 {
 		return nil, fmt.Errorf("pcap: implausible capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
+	// Copy rather than ReadFull into a pre-sized buffer: both capLen and
+	// SnapLen come off the wire, so a 40-byte file claiming a huge capture
+	// must fail on the missing bytes, not on the allocation.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r.r, int64(capLen)); err != nil {
 		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
 	}
+	data := buf.Bytes()
 	return &Packet{
 		Time:    time.Unix(sec, usec*1000).UTC(),
 		Data:    data,

@@ -231,6 +231,140 @@ func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
 	return counts, nil
 }
 
+// ChiSquare computes Pearson's chi-square goodness-of-fit statistic for
+// observed counts against expected counts, returning the statistic, the
+// degrees of freedom (len-1), and the p-value P[X >= stat] under the
+// chi-square distribution. The testkit uses it to verify that empirical
+// bandwidth-weighted relay selection matches the analytic weights.
+//
+// Expected counts must be strictly positive; the classical validity rule
+// of thumb (every expected count >= 5) is the caller's responsibility —
+// see MergeSmallBins.
+func ChiSquare(observed, expected []float64) (stat float64, df int, p float64, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, 0, fmt.Errorf("stats: length mismatch %d != %d", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: chi-square needs at least 2 bins, got %d", len(observed))
+	}
+	for i, e := range expected {
+		if e <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: non-positive expected count %v in bin %d", e, i)
+		}
+	}
+	for i := range observed {
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	df = len(observed) - 1
+	p = chiSquareSF(stat, float64(df))
+	return stat, df, p, nil
+}
+
+// MergeSmallBins coalesces adjacent bins until every expected count is at
+// least minExpected, returning the merged (observed, expected) pair. It
+// preserves totals exactly. The input slices are not modified. This is the
+// standard preprocessing step that keeps the chi-square approximation
+// valid on long-tailed weight distributions.
+func MergeSmallBins(observed, expected []float64, minExpected float64) ([]float64, []float64, error) {
+	if len(observed) != len(expected) {
+		return nil, nil, fmt.Errorf("stats: length mismatch %d != %d", len(observed), len(expected))
+	}
+	var obs, exp []float64
+	var accO, accE float64
+	for i := range expected {
+		accO += observed[i]
+		accE += expected[i]
+		if accE >= minExpected {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+			accO, accE = 0, 0
+		}
+	}
+	// Fold any under-filled remainder into the last emitted bin.
+	if accE > 0 {
+		if len(exp) == 0 {
+			return nil, nil, fmt.Errorf("stats: total expected mass %v below minimum %v", accE, minExpected)
+		}
+		obs[len(obs)-1] += accO
+		exp[len(exp)-1] += accE
+	}
+	return obs, exp, nil
+}
+
+// chiSquareSF is the chi-square survival function P[X >= x] with df
+// degrees of freedom: the upper regularized incomplete gamma function
+// Q(df/2, x/2).
+func chiSquareSF(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return gammaQ(df/2, x/2)
+}
+
+// gammaQ computes the upper regularized incomplete gamma function Q(a, x)
+// = Γ(a, x)/Γ(a) using the series expansion for x < a+1 and the continued
+// fraction otherwise (Numerical Recipes §6.2).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by its continued fraction
+// (modified Lentz's method).
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
 // Summary holds the five-number-style summary used across EXPERIMENTS.md.
 type Summary struct {
 	N      int

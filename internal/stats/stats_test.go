@@ -351,3 +351,113 @@ func TestMedianIsP50(t *testing.T) {
 		}
 	}
 }
+
+func TestChiSquareExactFit(t *testing.T) {
+	obs := []float64{10, 20, 30, 40}
+	stat, df, p, err := ChiSquare(obs, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || df != 3 || p != 1 {
+		t.Fatalf("stat=%v df=%d p=%v, want 0/3/1", stat, df, p)
+	}
+}
+
+// TestChiSquareCriticalValues pins the survival function against the
+// classical 5% critical-value table.
+func TestChiSquareCriticalValues(t *testing.T) {
+	cases := []struct {
+		df   int
+		crit float64
+	}{
+		{1, 3.841},
+		{2, 5.991},
+		{5, 11.070},
+		{10, 18.307},
+		{30, 43.773},
+	}
+	for _, c := range cases {
+		// Build a 2-bin ... easier: call chiSquareSF directly.
+		if p := chiSquareSF(c.crit, float64(c.df)); !almostEqual(p, 0.05, 5e-4) {
+			t.Errorf("SF(%v, df=%d) = %v, want ~0.05", c.crit, c.df, p)
+		}
+	}
+	if p := chiSquareSF(0, 4); p != 1 {
+		t.Errorf("SF(0) = %v, want 1", p)
+	}
+	if p := chiSquareSF(1e6, 4); p > 1e-12 {
+		t.Errorf("SF(1e6) = %v, want ~0", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, _, err := ChiSquare([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := ChiSquare([]float64{1}, []float64{1}); err == nil {
+		t.Error("single bin accepted")
+	}
+	if _, _, _, err := ChiSquare([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("zero expected count accepted")
+	}
+}
+
+// Property: the chi-square statistic of multinomial samples drawn from the
+// expected distribution itself should only rarely exceed the 0.1% critical
+// region. With fixed seeds this is deterministic.
+func TestChiSquareOnTrueDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []float64{0.4, 0.3, 0.2, 0.1}
+	const draws = 5000
+	low := 0
+	for trial := 0; trial < 40; trial++ {
+		obs := make([]float64, len(weights))
+		for i := 0; i < draws; i++ {
+			r := rng.Float64()
+			for j, w := range weights {
+				if r < w || j == len(weights)-1 {
+					obs[j]++
+					break
+				}
+				r -= w
+			}
+		}
+		exp := make([]float64, len(weights))
+		for j, w := range weights {
+			exp[j] = w * draws
+		}
+		_, _, p, err := ChiSquare(obs, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.001 {
+			low++
+		}
+	}
+	if low > 1 {
+		t.Fatalf("%d/40 trials below the 0.1%% p-value on the true distribution", low)
+	}
+}
+
+func TestMergeSmallBins(t *testing.T) {
+	obs := []float64{1, 2, 3, 4, 0.5}
+	exp := []float64{0.5, 6, 2, 4, 0.5}
+	mo, me, err := MergeSmallBins(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(mo) != Sum(obs) || Sum(me) != Sum(exp) {
+		t.Fatalf("totals changed: %v/%v vs %v/%v", Sum(mo), Sum(me), Sum(obs), Sum(exp))
+	}
+	for i, e := range me {
+		if e < 5 {
+			t.Fatalf("bin %d expected %v below the floor", i, e)
+		}
+	}
+	if _, _, err := MergeSmallBins([]float64{1}, []float64{1}, 5); err == nil {
+		t.Error("under-mass input accepted")
+	}
+	if _, _, err := MergeSmallBins([]float64{1}, []float64{1, 2}, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

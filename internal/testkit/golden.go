@@ -1,0 +1,69 @@
+package testkit
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is registered once here so every test binary that links testkit
+// gains the same -update flag; `go test ./... -run Golden -update`
+// refreshes every golden file in the repository.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Updating reports whether the test run was invoked with -update.
+func Updating() bool { return *update }
+
+// Golden compares got against the golden file at path, failing the test
+// with a line-oriented diff on mismatch. With -update the file is
+// rewritten (directories created as needed) and the test passes.
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("creating golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing golden %s: %v", path, err)
+		}
+		t.Logf("updated golden %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (refresh with `go test -run Golden -update`): %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Errorf("output differs from golden %s:\n%s", path, diffLines(want, got))
+}
+
+// diffLines renders a compact first-divergence diff: the line number
+// where the texts part ways plus a few lines of context from each side.
+func diffLines(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	i := 0
+	for i < len(wl) && i < len(gl) && bytes.Equal(wl[i], gl[i]) {
+		i++
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "first difference at line %d\n", i+1)
+	show := func(label string, lines [][]byte) {
+		fmt.Fprintf(&b, "%s:\n", label)
+		for j := i; j < len(lines) && j < i+3; j++ {
+			fmt.Fprintf(&b, "  %4d | %s\n", j+1, lines[j])
+		}
+		if i >= len(lines) {
+			fmt.Fprintf(&b, "  (ends at line %d)\n", len(lines))
+		}
+	}
+	show("golden", wl)
+	show("got", gl)
+	fmt.Fprintf(&b, "(%d golden lines, %d got lines)", len(wl), len(gl))
+	return b.String()
+}

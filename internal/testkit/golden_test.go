@@ -1,0 +1,56 @@
+package testkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGoldenWriteAndMatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.txt")
+	content := []byte("line one\nline two\n")
+
+	// Simulate -update by writing the file directly, then verify the
+	// comparison path passes on identical content.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Golden(t, path, content)
+}
+
+func TestDiffLinesPinpointsFirstDivergence(t *testing.T) {
+	want := []byte("alpha\nbravo\ncharlie\n")
+	got := []byte("alpha\nbravo\nCHARLIE\ndelta\n")
+	d := diffLines(want, got)
+	if !strings.Contains(d, "first difference at line 3") {
+		t.Errorf("diff does not name line 3:\n%s", d)
+	}
+	if !strings.Contains(d, "charlie") || !strings.Contains(d, "CHARLIE") {
+		t.Errorf("diff omits the diverging lines:\n%s", d)
+	}
+}
+
+func TestDiffLinesHandlesTruncation(t *testing.T) {
+	want := []byte("a\nb\nc\n")
+	got := []byte("a\n")
+	d := diffLines(want, got)
+	if !strings.Contains(d, "first difference at line 2") {
+		t.Errorf("diff does not name line 2:\n%s", d)
+	}
+	if !strings.Contains(d, "4 golden lines, 2 got lines") {
+		t.Errorf("diff does not report the line counts:\n%s", d)
+	}
+}
+
+func TestUpdatingReflectsFlag(t *testing.T) {
+	// The harness never runs its own suite with -update; the accessor
+	// must agree with the flag's current value.
+	if Updating() != *update {
+		t.Error("Updating() disagrees with the -update flag")
+	}
+}

@@ -100,6 +100,10 @@ func (c *GenConfig) validate() error {
 	if c.MaxRelaysPerPrefix < 2 {
 		return fmt.Errorf("torconsensus: MaxRelaysPerPrefix must be >= 2")
 	}
+	if guardExit > c.GuardExitPrefixes*c.MaxRelaysPerPrefix {
+		return fmt.Errorf("torconsensus: %d guard/exit relays cannot fit %d prefixes capped at %d",
+			guardExit, c.GuardExitPrefixes, c.MaxRelaysPerPrefix)
+	}
 	if c.NumHostASes < 1 || len(c.HostASes) < c.NumHostASes {
 		return fmt.Errorf("torconsensus: need NumHostASes (%d) <= len(HostASes) (%d) and >= 1",
 			c.NumHostASes, len(c.HostASes))
@@ -181,10 +185,23 @@ func GenerateConsensus(cfg GenConfig) (*Consensus, *Hosting, error) {
 			totalW -= weights[idx]
 			weights[idx] = 0
 			if totalW == 0 {
-				// Everything saturated; dump the rest uniformly.
-				for surplus > 0 {
-					counts[1+rng.Intn(cfg.GuardExitPrefixes-1)]++
+				// Growable subset saturated: spill the rest uniformly
+				// across the prefixes still below the cap (validate
+				// guarantees enough global capacity).
+				open := make([]int, 0, cfg.GuardExitPrefixes)
+				for i := 0; i < cfg.GuardExitPrefixes; i++ {
+					if counts[i] < cfg.MaxRelaysPerPrefix {
+						open = append(open, i)
+					}
+				}
+				for surplus > 0 && len(open) > 0 {
+					j := rng.Intn(len(open))
+					counts[open[j]]++
 					surplus--
+					if counts[open[j]] >= cfg.MaxRelaysPerPrefix {
+						open[j] = open[len(open)-1]
+						open = open[:len(open)-1]
+					}
 				}
 				break
 			}

@@ -1,0 +1,77 @@
+package torconsensus
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+)
+
+func hostASPool(n int) []bgp.ASN {
+	out := make([]bgp.ASN, n)
+	for i := range out {
+		out[i] = bgp.ASN(10001 + i)
+	}
+	return out
+}
+
+// Regression: when the preferential-attachment "growable" prefix subset
+// saturated, the surplus guard/exit relays were dumped uniformly over
+// all prefixes with no cap check, silently violating the documented
+// MaxRelaysPerPrefix invariant (and panicking for GuardExitPrefixes=1).
+func TestGenerateRespectsRelayCapUnderSaturation(t *testing.T) {
+	// 60 guard/exit relays into 15 prefixes capped at 4: exactly
+	// feasible, so the spill path must fill every prefix to the brim
+	// without ever exceeding the cap.
+	cfg := GenConfig{
+		Total: 80, Guards: 40, Exits: 25, Both: 5,
+		GuardExitPrefixes:  15,
+		MaxRelaysPerPrefix: 4,
+		MiddleOnlyPrefixes: 2,
+		HostASes:           hostASPool(8),
+		NumHostASes:        4,
+		Seed:               7,
+		ValidAfter:         time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+	cons, host, err := GenerateConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPrefix := make(map[string]int)
+	for i := range cons.Relays {
+		r := &cons.Relays[i]
+		if !r.IsGuard() && !r.IsExit() {
+			continue
+		}
+		perPrefix[host.RelayPrefix[r.Addr].String()]++
+	}
+	total := 0
+	for p, n := range perPrefix {
+		total += n
+		if n > cfg.MaxRelaysPerPrefix {
+			t.Errorf("prefix %s hosts %d guard/exit relays, cap %d", p, n, cfg.MaxRelaysPerPrefix)
+		}
+	}
+	if want := cfg.Guards + cfg.Exits - cfg.Both; total != want {
+		t.Errorf("placed %d guard/exit relays, want %d", total, want)
+	}
+}
+
+func TestGenerateRejectsInfeasibleCap(t *testing.T) {
+	// 61 relays cannot fit 15 prefixes capped at 4 (capacity 60); the
+	// old code would either violate the cap or loop. Must error.
+	cfg := GenConfig{
+		Total: 80, Guards: 41, Exits: 25, Both: 5,
+		GuardExitPrefixes:  15,
+		MaxRelaysPerPrefix: 4,
+		HostASes:           hostASPool(8),
+		NumHostASes:        4,
+		Seed:               7,
+		ValidAfter:         time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+	_, _, err := GenerateConsensus(cfg)
+	if err == nil || !strings.Contains(err.Error(), "cannot fit") {
+		t.Fatalf("infeasible config: got err %v, want capacity error", err)
+	}
+}

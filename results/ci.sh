@@ -1,0 +1,79 @@
+#!/bin/sh
+# Full CI gate — everything bench.sh checks plus formatting, fuzz smoke
+# tests and coverage floors:
+#
+#   1. gofmt (no unformatted files)
+#   2. go build ./...                 (tier-1)
+#   3. go vet ./...
+#   4. go test ./...                  (tier-1; includes the testkit
+#      invariant/differential layers and the golden regression suite)
+#   5. go test -race ./...
+#   6. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
+#   7. per-package coverage floors (see floor() below)
+#
+# Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
+# skip the fuzz smoke (e.g. on very slow machines).
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... (+coverage) =="
+cover_out=$(mktemp)
+trap 'rm -f "$cover_out"' EXIT
+go test -count=1 -cover ./... | tee "$cover_out"
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+    echo "== fuzz smoke ($FUZZTIME per target) =="
+    # -fuzzminimizetime=1x: on small machines the default 60s minimization
+    # budget per new interesting input would eat the whole smoke window.
+    for pkg in $(go list ./...); do
+        for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
+            echo "-- $pkg $target"
+            go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" \
+                -fuzzminimizetime=1x "$pkg"
+        done
+    done
+fi
+
+echo "== coverage floors =="
+# Floors sit safely below current values so routine changes pass while
+# real coverage regressions fail. Raise them as coverage improves.
+awk '
+function floor(pkg) {
+    if (pkg == "quicksand/cmd/quicksand") return 40   # main() wiring untested
+    return 80                                         # library packages
+}
+$1 == "ok" {
+    pkg = $2
+    pct = ""
+    for (i = 3; i <= NF; i++)
+        if ($i == "coverage:") { pct = $(i + 1); sub(/%/, "", pct) }
+    if (pct == "") next
+    printf "%-40s %6.1f%% (floor %d%%)\n", pkg, pct, floor(pkg)
+    if (pct + 0 < floor(pkg)) {
+        printf "FAIL: %s coverage %.1f%% below floor %d%%\n", pkg, pct, floor(pkg)
+        bad = 1
+    }
+}
+END { exit bad }
+' "$cover_out"
+
+echo "OK"
