@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	bgpgen [-scale small|paper] [-seed N] [-out DIR]
+//	bgpgen [-scale small|paper] [-seed N] [-out DIR] [-attacks N]
 //
 // Output files: DIR/<collector>.rib.mrt and DIR/<collector>.updates.mrt.
+// With -attacks N, N same-prefix hijacks of the world's Tor prefixes are
+// embedded in the churn — detector fodder for `quicksand serve -mrt`.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"quicksand"
 	"quicksand/internal/bgpsim"
@@ -24,14 +27,15 @@ func main() {
 	scale := flag.String("scale", "small", "world scale: small or paper")
 	seed := flag.Int64("seed", 1, "root seed")
 	out := flag.String("out", ".", "output directory")
+	attacks := flag.Int("attacks", 0, "embed this many same-prefix hijacks of Tor prefixes in the churn")
 	flag.Parse()
-	if err := run(*scale, *seed, *out); err != nil {
+	if err := run(*scale, *seed, *out, *attacks); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, out string) error {
+func run(scale string, seed int64, out string, attacks int) error {
 	wcfg := quicksand.SmallWorldConfig()
 	mcfg := quicksand.SmallMonthConfig()
 	if scale == "paper" {
@@ -49,6 +53,20 @@ func run(scale string, seed int64, out string) error {
 	w, err := quicksand.BuildWorld(wcfg)
 	if err != nil {
 		return err
+	}
+	if attacks > 0 {
+		mcfg.InjectHijacks = attacks
+		// Sorted for determinism: target selection indexes this slice.
+		for p := range w.TorPrefixes {
+			mcfg.HijackTargets = append(mcfg.HijackTargets, p)
+		}
+		sort.Slice(mcfg.HijackTargets, func(i, j int) bool {
+			a, b := mcfg.HijackTargets[i], mcfg.HijackTargets[j]
+			if c := a.Addr().Compare(b.Addr()); c != 0 {
+				return c < 0
+			}
+			return a.Bits() < b.Bits()
+		})
 	}
 	fmt.Fprintf(os.Stderr, "simulating churn over %v...\n", mcfg.Duration)
 	st, err := w.SimulateMonth(mcfg)
@@ -85,7 +103,7 @@ func run(scale string, seed int64, out string) error {
 		}
 		fmt.Printf("%s: wrote %s and %s\n", c.Name, ribPath, updPath)
 	}
-	fmt.Printf("stream: %d sessions, %d updates, %d resets over %v\n",
-		len(st.Sessions), len(st.Updates), len(st.Resets), st.End.Sub(st.Start))
+	fmt.Printf("stream: %d sessions, %d updates, %d resets, %d attacks over %v\n",
+		len(st.Sessions), len(st.Updates), len(st.Resets), len(st.Attacks), st.End.Sub(st.Start))
 	return nil
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	quicksand [flags] <experiment>
+//	quicksand serve [flags]
+//
+// The serve subcommand runs the long-lived monitord daemon instead of a
+// batch experiment: a live BGP listener, MRT ingest, a streaming §5
+// monitor, and an HTTP API (see serve.go and `quicksand serve -h`).
 //
 // Experiments:
 //
@@ -59,6 +64,15 @@ import (
 )
 
 func main() {
+	// The serve subcommand has its own flag set; dispatch before the
+	// experiment flags are parsed.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "quicksand serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	scale := flag.String("scale", "small", "world scale: small or paper")
 	seed := flag.Int64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "worker goroutines per study (<1 = one per CPU)")
@@ -77,6 +91,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: quicksand [-scale small|paper] [-seed N] [-workers N] <experiment>
+       quicksand serve [flags]   (long-running route monitor; see serve -h)
 
 experiments: dataset fig2left fig2right fig3left fig3right
              anonymity hijack intercept defend

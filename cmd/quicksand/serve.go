@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"quicksand"
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/monitord"
+)
+
+// serveOpts are the parsed flags of the serve subcommand.
+type serveOpts struct {
+	scale     string
+	seed      int64
+	watchFile string
+
+	listenBGP  string
+	listenHTTP string
+	collectors string
+	mrtFiles   string
+	ribFile    string
+
+	asn   uint
+	bgpID string
+	hold  time.Duration
+
+	learn          int
+	upstreamAlarms bool
+	shards         int
+	queueDepth     int
+	alertBuffer    int
+}
+
+func serveFlags(fs *flag.FlagSet) *serveOpts {
+	o := &serveOpts{}
+	fs.StringVar(&o.scale, "scale", "small", "world scale for the default Tor-prefix watchlist: small or paper")
+	fs.Int64Var(&o.seed, "seed", 1, "root seed for the default watchlist world")
+	fs.StringVar(&o.watchFile, "watch", "", "watchlist file (\"prefix origin-AS\" per line) instead of the generated world's Tor prefixes")
+	fs.StringVar(&o.listenBGP, "listen-bgp", "127.0.0.1:1790", "TCP address accepting inbound BGP sessions (empty disables)")
+	fs.StringVar(&o.listenHTTP, "listen-http", "127.0.0.1:8790", "TCP address serving the HTTP API (empty disables)")
+	fs.StringVar(&o.collectors, "collectors", "", "comma-separated BGP speakers to dial and keep sessions with")
+	fs.StringVar(&o.mrtFiles, "mrt", "", "comma-separated BGP4MP update archives to ingest at startup")
+	fs.StringVar(&o.ribFile, "rib-snapshot", "", "TABLE_DUMP_V2 snapshot to seed the live RIB from at startup")
+	fs.UintVar(&o.asn, "asn", 64512, "local AS number")
+	fs.StringVar(&o.bgpID, "bgp-id", "198.51.100.1", "local BGP identifier (IPv4)")
+	fs.DurationVar(&o.hold, "hold", 90*time.Second, "proposed BGP hold time (0 disables keepalives)")
+	fs.IntVar(&o.learn, "learn", 0, "treat the first N updates as a clean learning window before arming upstream alarms")
+	fs.BoolVar(&o.upstreamAlarms, "upstream-alarms", false, "arm new-upstream alarms immediately (no learning window)")
+	fs.IntVar(&o.shards, "shards", 0, "dispatcher shards (0 = default)")
+	fs.IntVar(&o.queueDepth, "queue-depth", 0, "per-shard ingest queue bound (0 = default)")
+	fs.IntVar(&o.alertBuffer, "alert-buffer", 0, "alert ring capacity (0 = default)")
+	return o
+}
+
+// parseWatchFile reads a watchlist: one "prefix origin-AS" pair per
+// line, blank lines and #-comments ignored.
+func parseWatchFile(r io.Reader) (map[netip.Prefix]bgp.ASN, error) {
+	watched := make(map[netip.Prefix]bgp.ASN)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"prefix origin-AS\", got %q", line, text)
+		}
+		p, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		asn, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: origin %q: %v", line, fields[1], err)
+		}
+		watched[p.Masked()] = bgp.ASN(asn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(watched) == 0 {
+		return nil, fmt.Errorf("watchlist is empty")
+	}
+	return watched, nil
+}
+
+// watchlistFromWorld builds the default watchlist: the generated
+// world's Tor (guard/exit-hosting) prefixes with their legitimate
+// origins — the §5 monitoring target.
+func watchlistFromWorld(scale string, seed int64) (map[netip.Prefix]bgp.ASN, error) {
+	cfg := quicksand.SmallWorldConfig()
+	if scale == "paper" {
+		cfg = quicksand.DefaultWorldConfig()
+	} else if scale != "small" {
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg.Seed = seed
+	cfg.Topology.Seed = seed
+	cfg.Consensus.Seed = seed
+	w, err := quicksand.BuildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	watched := make(map[netip.Prefix]bgp.ASN, len(w.TorPrefixes))
+	for p := range w.TorPrefixes {
+		watched[p] = w.Origins[p]
+	}
+	return watched, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// serveConfig turns parsed flags into a daemon config.
+func (o *serveOpts) serveConfig(logf func(string, ...any)) (monitord.Config, error) {
+	var watched map[netip.Prefix]bgp.ASN
+	var err error
+	if o.watchFile != "" {
+		f, err2 := os.Open(o.watchFile)
+		if err2 != nil {
+			return monitord.Config{}, err2
+		}
+		watched, err = parseWatchFile(f)
+		f.Close()
+		if err != nil {
+			err = fmt.Errorf("%s: %w", o.watchFile, err)
+		}
+	} else {
+		logf("serve: building %s world for the Tor-prefix watchlist (seed %d)...", o.scale, o.seed)
+		watched, err = watchlistFromWorld(o.scale, o.seed)
+	}
+	if err != nil {
+		return monitord.Config{}, err
+	}
+	bgpID, err := netip.ParseAddr(o.bgpID)
+	if err != nil {
+		return monitord.Config{}, fmt.Errorf("-bgp-id: %v", err)
+	}
+	return monitord.Config{
+		Watched: watched,
+		Speaker: bgpd.Config{
+			ASN: bgp.ASN(o.asn), BGPID: bgpID, HoldTime: o.hold,
+		},
+		ListenBGP:      o.listenBGP,
+		ListenHTTP:     o.listenHTTP,
+		Collectors:     splitList(o.collectors),
+		Shards:         o.shards,
+		QueueDepth:     o.queueDepth,
+		AlertBuffer:    o.alertBuffer,
+		LearnUpdates:   o.learn,
+		UpstreamAlarms: o.upstreamAlarms,
+		Seed:           o.seed,
+		Logf:           logf,
+	}, nil
+}
+
+// serveCmd runs the monitord daemon until SIGINT/SIGTERM.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: quicksand serve [flags]
+
+Long-running Tor-prefix route monitor: accepts BGP sessions, ingests
+MRT archives, maintains a live RIB, and serves alerts and metrics over
+HTTP (GET /alerts, /rib, /healthz, /metrics).
+
+`)
+		fs.PrintDefaults()
+	}
+	o := serveFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	cfg, err := o.serveConfig(logger.Printf)
+	if err != nil {
+		return err
+	}
+	d, err := monitord.New(cfg)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serve: watching %d prefixes; BGP %s, HTTP %s",
+		len(cfg.Watched), orDisabled(d.BGPAddr()), orDisabled(d.HTTPAddr()))
+
+	for _, path := range splitList(o.ribFile) {
+		if err := ingestFile(d, path, true, logger.Printf); err != nil {
+			shutdownQuiet(d)
+			return err
+		}
+	}
+	for _, path := range splitList(o.mrtFiles) {
+		if err := ingestFile(d, path, false, logger.Printf); err != nil {
+			shutdownQuiet(d)
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Printf("serve: %v received, shutting down...", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return d.Shutdown(ctx)
+}
+
+func ingestFile(d *monitord.Daemon, path string, snapshot bool, logf func(string, ...any)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var stats *monitord.MRTStats
+	if snapshot {
+		stats, err = d.IngestRIBSnapshot(f, path)
+	} else {
+		stats, err = d.IngestMRT(f, path)
+	}
+	if err != nil {
+		return err
+	}
+	d.WaitQuiesce(time.Minute)
+	logf("serve: ingested %s: %d records, %d updates, %d peers (%d skipped)",
+		path, stats.Records, stats.Updates, stats.Sessions, stats.Skipped)
+	return nil
+}
+
+func orDisabled(addr string) string {
+	if addr == "" {
+		return "disabled"
+	}
+	return addr
+}
+
+func shutdownQuiet(d *monitord.Daemon) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d.Shutdown(ctx)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksand/internal/monitord"
+)
+
+func TestParseWatchFile(t *testing.T) {
+	in := `# watchlist
+10.0.0.0/16 64496
+
+10.1.0.0/24 64497
+`
+	watched, err := parseWatchFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseWatchFile: %v", err)
+	}
+	if len(watched) != 2 {
+		t.Fatalf("got %d entries, want 2", len(watched))
+	}
+	for _, bad := range []string{
+		"", "10.0.0.0/16", "10.0.0.0/16 64496 extra", "nope 64496", "10.0.0.0/16 nope",
+	} {
+		if _, err := parseWatchFile(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseWatchFile(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestServeSmoke starts the serve subcommand's daemon from its flag
+// set (loopback, ephemeral ports, file watchlist) and checks that the
+// HTTP API answers — the wiring between flags, config, and monitord.
+func TestServeSmoke(t *testing.T) {
+	watch := filepath.Join(t.TempDir(), "watch.txt")
+	if err := os.WriteFile(watch, []byte("10.0.0.0/16 64496\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	o := serveFlags(fs)
+	if err := fs.Parse([]string{
+		"-watch", watch,
+		"-listen-bgp", "127.0.0.1:0",
+		"-listen-http", "127.0.0.1:0",
+		"-hold", "3s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.serveConfig(t.Logf)
+	if err != nil {
+		t.Fatalf("serveConfig: %v", err)
+	}
+	if len(cfg.Watched) != 1 || len(cfg.Collectors) != 0 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	d, err := monitord.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		http.DefaultClient.CloseIdleConnections()
+	}()
+	if d.BGPAddr() == "" || d.HTTPAddr() == "" {
+		t.Fatal("listeners not bound")
+	}
+
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Watched int    `json:"watched_prefixes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if h.Status != "ok" || h.Watched != 1 {
+		t.Errorf("/healthz = %+v", h)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, b ,,c "); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}

@@ -33,6 +33,12 @@ type Config struct {
 	// AS4 advertises the 4-octet-AS capability (default on when the
 	// ASN needs it; set explicitly to negotiate on small ASNs too).
 	AS4 bool
+	// OnClose, when set, is invoked exactly once as the session finishes
+	// tearing down — keepalives stopped, any final NOTIFICATION sent, and
+	// the connection closed. It runs on whichever goroutine triggered the
+	// teardown and must not call back into Close (the teardown is still
+	// holding its once-guard).
+	OnClose func(*Session)
 }
 
 func (c *Config) validate() error {
@@ -68,10 +74,21 @@ type Session struct {
 	writeMu sync.Mutex
 	readBuf []byte
 
+	onClose func(*Session)
+
 	closeOnce sync.Once
 	closed    chan struct{}
+	// kaStarted records whether keepaliveLoop was ever launched; teardown
+	// must not wait for a loop that never ran (Establish error paths send
+	// NOTIFICATIONs before keepalives exist).
+	kaStarted bool
 	kaDone    chan struct{}
 }
+
+// Done returns a channel closed when the session has torn down (peer
+// NOTIFICATION, hold-timer expiry, or local Close). It is the session
+// lifecycle hook long-running daemons select on.
+func (s *Session) Done() <-chan struct{} { return s.closed }
 
 // PeerAS returns the peer's (capability-corrected) AS number.
 func (s *Session) PeerAS() bgp.ASN { return s.peerAS }
@@ -107,7 +124,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	}
 
 	s := &Session{
-		conn: conn, localAS: cfg.ASN,
+		conn: conn, localAS: cfg.ASN, onClose: cfg.OnClose,
 		closed: make(chan struct{}), kaDone: make(chan struct{}),
 	}
 
@@ -170,6 +187,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 
 	// Background keepalives at a third of the hold time.
 	if s.holdTime > 0 {
+		s.kaStarted = true
 		go s.keepaliveLoop(s.holdTime / 3)
 	} else {
 		close(s.kaDone)
@@ -300,31 +318,49 @@ func (s *Session) RecvUpdate() (*bgp.Update, error) {
 }
 
 func (s *Session) notifyAndClose(code, subcode uint8, data []byte) {
-	n := &bgp.Notification{Code: code, Subcode: subcode, Data: data}
-	if raw, err := n.Marshal(); err == nil {
-		// Best effort with a short deadline: if the peer is also tearing
-		// down (nobody reading), the session must still come down.
-		s.write(raw, time.Second)
-	}
-	s.closeConn()
+	s.teardown(&bgp.Notification{Code: code, Subcode: subcode, Data: data})
 }
 
 func (s *Session) closeConn() {
+	s.teardown(nil)
+}
+
+// teardown brings the session down exactly once, in an order that makes
+// concurrent Close/keepaliveLoop/reader interleavings race-free:
+//
+//  1. close(closed) — new SendUpdate/RecvUpdate calls stop, and the
+//     keepalive loop exits at its next wakeup;
+//  2. wait for the keepalive loop, so no KEEPALIVE can ever be written
+//     after the NOTIFICATION (or onto an already-closed conn);
+//  3. best-effort send of the final NOTIFICATION (when one is due) under
+//     a short deadline — if the peer is also tearing down (nobody
+//     reading), the session must still come down;
+//  4. close the conn and fire the OnClose lifecycle hook.
+//
+// Losers of the once-race block until the winner finishes, so Close
+// returning means the teardown is complete on every path.
+func (s *Session) teardown(n *bgp.Notification) {
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		if s.kaStarted {
+			<-s.kaDone
+		}
+		if n != nil {
+			if raw, err := n.Marshal(); err == nil {
+				s.write(raw, time.Second)
+			}
+		}
 		s.conn.Close()
+		if s.onClose != nil {
+			s.onClose(s)
+		}
 	})
 }
 
 // Close sends a Cease NOTIFICATION and tears the session down. Safe to
-// call multiple times.
+// call multiple times and concurrently with any other session method;
+// when it returns, the keepalive goroutine has exited.
 func (s *Session) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
 	s.notifyAndClose(bgp.NotifCease, 0, nil)
-	<-s.kaDone
 	return nil
 }

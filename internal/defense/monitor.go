@@ -3,6 +3,7 @@ package defense
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"quicksand/internal/bgp"
@@ -59,8 +60,17 @@ type Alert struct {
 // monitoring framework). It is trained on the expected origin of each
 // watched prefix and, optionally, on the set of legitimate upstream
 // (penultimate) ASes seen during a learning window.
+//
+// Monitor is safe for concurrent use: Learn, EnableUpstream and Observe
+// may be called from any number of goroutines, so a streaming consumer
+// (internal/monitord) can fan updates out over sharded workers. The
+// watched-prefix trie is immutable after NewMonitor and read lock-free;
+// the mutable learning state is guarded by an RWMutex, which Observe only
+// takes on the (cheap, read-side) upstream check.
 type Monitor struct {
-	watched        iptrie.Trie[bgp.ASN] // watched prefix -> expected origin
+	watched iptrie.Trie[bgp.ASN] // watched prefix -> expected origin; immutable
+
+	mu             sync.RWMutex
 	knownUpstreams map[netip.Prefix]map[bgp.ASN]bool
 	upstreamAlarms bool
 }
@@ -92,17 +102,23 @@ func (m *Monitor) Learn(u *bgpsim.UpdateEvent) {
 		return
 	}
 	if up, ok := upstreamOf(u.Path); ok {
+		m.mu.Lock()
 		set := m.knownUpstreams[u.Prefix]
 		if set == nil {
 			set = make(map[bgp.ASN]bool)
 			m.knownUpstreams[u.Prefix] = set
 		}
 		set[up] = true
+		m.mu.Unlock()
 	}
 }
 
 // EnableUpstream turns on new-upstream alarms (after learning).
-func (m *Monitor) EnableUpstream() { m.upstreamAlarms = true }
+func (m *Monitor) EnableUpstream() {
+	m.mu.Lock()
+	m.upstreamAlarms = true
+	m.mu.Unlock()
+}
 
 // upstreamOf returns the penultimate AS of a path (the origin's
 // provider-side neighbor), when the path has one.
@@ -129,8 +145,18 @@ func (m *Monitor) Observe(u *bgpsim.UpdateEvent) []Alert {
 				Time: u.Time, Session: u.Session, Prefix: u.Prefix,
 				Kind: AlertOriginChange, Observed: origin,
 			})
-		} else if m.upstreamAlarms {
-			if up, ok := upstreamOf(u.Path); ok && !m.knownUpstreams[u.Prefix][up] {
+		} else {
+			m.mu.RLock()
+			alarm := false
+			var up bgp.ASN
+			if m.upstreamAlarms {
+				var ok bool
+				if up, ok = upstreamOf(u.Path); ok && !m.knownUpstreams[u.Prefix][up] {
+					alarm = true
+				}
+			}
+			m.mu.RUnlock()
+			if alarm {
 				alerts = append(alerts, Alert{
 					Time: u.Time, Session: u.Session, Prefix: u.Prefix,
 					Kind: AlertNewUpstream, Observed: up,

@@ -1,0 +1,70 @@
+package defense
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpsim"
+)
+
+// TestMonitorConcurrentObserve exercises the streaming contract under
+// -race: Learn, EnableUpstream and Observe racing from many goroutines,
+// as the monitord shard workers do.
+func TestMonitorConcurrentObserve(t *testing.T) {
+	watched := map[netip.Prefix]bgp.ASN{
+		netip.MustParsePrefix("10.0.0.0/16"): 64500,
+		netip.MustParsePrefix("10.1.0.0/16"): 64501,
+	}
+	m, err := NewMonitor(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+	benign := bgpsim.UpdateEvent{
+		Time: base, Prefix: netip.MustParsePrefix("10.0.0.0/16"),
+		Path: []bgp.ASN{100, 200, 64500},
+	}
+	hijacked := bgpsim.UpdateEvent{
+		Time: base, Prefix: netip.MustParsePrefix("10.1.0.0/16"),
+		Path: []bgp.ASN{100, 666},
+	}
+
+	var wg sync.WaitGroup
+	var alarms sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					m.Learn(&benign)
+				case 1:
+					for _, a := range m.Observe(&hijacked) {
+						if a.Kind != AlertOriginChange {
+							alarms.Store(a.Kind, true)
+						}
+					}
+				case 2:
+					m.Observe(&benign)
+				}
+				if i == 100 {
+					m.EnableUpstream()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The hijacked prefix must only ever raise origin-change alarms.
+	alarms.Range(func(k, _ any) bool {
+		t.Errorf("unexpected alert kind %v on origin-changed update", k)
+		return true
+	})
+	// Post-learning, the benign upstream is known: no upstream alarm.
+	for _, a := range m.Observe(&benign) {
+		t.Errorf("benign update alarmed after learning: %+v", a)
+	}
+}

@@ -1,0 +1,138 @@
+package monitord
+
+import (
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+)
+
+// benchUpdates pre-generates a realistic ingest mix: mostly background
+// churn over a few thousand prefixes, a sliver of watched-prefix
+// announcements, and occasional hijacks that exercise the alert path.
+func benchUpdates(n int) []item {
+	rng := rand.New(rand.NewSource(1))
+	prefixes := make([]netip.Prefix, 4096)
+	for i := range prefixes {
+		var a [4]byte
+		binary.BigEndian.PutUint32(a[:], 0x0B000000|uint32(i)<<8) // 11.x.y.0/24
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4(a), 24)
+	}
+	paths := make([][]bgp.ASN, 64)
+	for i := range paths {
+		paths[i] = asns(64501, uint32(65000+rng.Intn(500)), uint32(64900+rng.Intn(50)))
+	}
+	items := make([]item, n)
+	for i := range items {
+		switch {
+		case i%97 == 0: // watched prefix, benign
+			items[i] = item{prefix: watchedPrefix, path: asns(64501, 64500, 64496)}
+		case i%997 == 0: // watched prefix, hijacked
+			items[i] = item{prefix: watchedPrefix, path: asns(64501, 666)}
+		case i%13 == 0: // withdrawal
+			items[i] = item{prefix: prefixes[rng.Intn(len(prefixes))]}
+		default:
+			items[i] = item{prefix: prefixes[rng.Intn(len(prefixes))], path: paths[rng.Intn(len(paths))]}
+		}
+	}
+	return items
+}
+
+// BenchmarkMonitordIngest measures pipeline throughput (dispatch → live
+// RIB → streaming monitor → alert ring) via the in-process Ingest path,
+// reporting updates/sec. This is the ceiling a BGP session can drive.
+func BenchmarkMonitordIngest(b *testing.B) {
+	d, err := New(Config{
+		Watched: map[netip.Prefix]bgp.ASN{watchedPrefix: watchedOrigin},
+		Shards:  8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	si := d.RegisterSource("bench", 64501)
+	items := benchUpdates(1 << 16)
+	t0 := time.Unix(0, 0)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i&(len(items)-1)]
+		d.Ingest(si, t0, it.prefix, it.path)
+	}
+	if !d.WaitQuiesce(time.Minute) {
+		b.Fatal("pipeline did not quiesce")
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+}
+
+// BenchmarkMonitordIngestTCP measures the same pipeline fed through a
+// real loopback BGP session — wire encode, TCP, decode, dispatch, RIB,
+// monitor — i.e. the full session path of the serve subcommand.
+func BenchmarkMonitordIngestTCP(b *testing.B) {
+	d, err := New(Config{
+		Watched: map[netip.Prefix]bgp.ASN{watchedPrefix: watchedOrigin},
+		Speaker: bgpd.Config{
+			ASN: 64500, BGPID: netip.MustParseAddr("198.51.100.1"),
+		},
+		ListenBGP: "127.0.0.1:0",
+		Shards:    8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	conn, err := net.Dial("tcp", d.BGPAddr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := bgpd.Establish(conn, bgpd.Config{
+		ASN: 64501, BGPID: netip.MustParseAddr("203.0.113.1"),
+	})
+	if err != nil {
+		conn.Close()
+		b.Fatal(err)
+	}
+	defer sess.Close()
+
+	items := benchUpdates(1 << 14)
+	updates := make([]*bgp.Update, len(items))
+	for i, it := range items {
+		u := &bgp.Update{}
+		if len(it.path) == 0 {
+			u.Withdrawn = []netip.Prefix{it.prefix}
+		} else {
+			u.NLRI = []netip.Prefix{it.prefix}
+			u.Attrs = bgp.PathAttributes{
+				HasOrigin: true, Origin: bgp.OriginIGP,
+				HasASPath: true, ASPath: bgp.Sequence(it.path...),
+				NextHop: netip.MustParseAddr("203.0.113.1"),
+			}
+		}
+		updates[i] = u
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.SendUpdate(updates[i&(len(updates)-1)]); err != nil {
+			b.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Wait for the daemon to absorb everything sent.
+	deadline := time.Now().Add(time.Minute)
+	for d.met.updates.Load() < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("daemon ingested %d/%d", d.met.updates.Load(), b.N)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+}

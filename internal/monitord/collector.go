@@ -1,0 +1,88 @@
+package monitord
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"time"
+
+	"quicksand/internal/bgpd"
+	"quicksand/internal/par"
+)
+
+// dialLoop maintains one outbound collector session: dial, establish,
+// read until the session drops, then reconnect with jittered exponential
+// backoff — the daemon's "peer with a route collector" mode. It exits
+// when the daemon shuts down, leaking nothing: the dialer honors the
+// daemon context, the handshake is unblocked by the raw-conn registry,
+// and an established session is closed like any inbound one.
+func (d *Daemon) dialLoop(addr string) {
+	defer d.sessWG.Done()
+	// Per-target deterministic jitter: derived from the config seed and
+	// the address so two dialers never sync their retry storms.
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	rng := rand.New(rand.NewSource(par.TrialSeed(d.cfg.Seed, int(h.Sum64()%(1<<31)))))
+
+	backoff := d.cfg.DialBackoffBase
+	dialer := &net.Dialer{Timeout: d.cfg.EstablishTimeout}
+	for {
+		if d.dialCtx.Err() != nil {
+			return
+		}
+		conn, err := dialer.DialContext(d.dialCtx, "tcp", addr)
+		if err != nil {
+			d.met.dialRetries.Add(1)
+			d.cfg.Logf("monitord: dial %s: %v (retry in ~%v)", addr, err, backoff)
+			if !d.sleepJittered(rng, backoff) {
+				return
+			}
+			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
+			continue
+		}
+		if !d.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		conn.SetDeadline(time.Now().Add(d.cfg.EstablishTimeout))
+		sess, err := bgpd.Establish(conn, d.cfg.Speaker)
+		d.untrackConn(conn)
+		if err != nil {
+			conn.Close()
+			d.met.dialRetries.Add(1)
+			d.cfg.Logf("monitord: establish with %s: %v (retry in ~%v)", addr, err, backoff)
+			if !d.sleepJittered(rng, backoff) {
+				return
+			}
+			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		backoff = d.cfg.DialBackoffBase // healthy session resets the backoff
+		si := d.registerSession(sess, addr, "collector")
+		d.cfg.Logf("monitord: collector session %d up with AS%d (%s)", si.id, uint32(si.peerAS), addr)
+		d.readLoop(sess, si)
+		// Session dropped; loop reconnects unless we're shutting down.
+	}
+}
+
+// sleepJittered sleeps for backoff scaled by a uniform [0.5, 1.5) jitter
+// factor, returning false when the daemon shut down first.
+func (d *Daemon) sleepJittered(rng *rand.Rand, backoff time.Duration) bool {
+	jittered := time.Duration((0.5 + rng.Float64()) * float64(backoff))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-d.dialCtx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

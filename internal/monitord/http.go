@@ -1,0 +1,185 @@
+package monitord
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"time"
+)
+
+// alertJSON is the wire shape of one alert on /alerts.
+type alertJSON struct {
+	Seq        uint64    `json:"seq"`
+	Time       time.Time `json:"time"`
+	Session    int       `json:"session"`
+	Prefix     string    `json:"prefix"`
+	Kind       string    `json:"kind"`
+	ObservedAS uint32    `json:"observed_as"`
+}
+
+// alertsResponse is the /alerts payload: alerts since the cursor, the
+// cursor to pass on the next poll, and how many alerts were evicted
+// unseen (a too-slow client's signal to resync).
+type alertsResponse struct {
+	Alerts  []alertJSON `json:"alerts"`
+	Next    uint64      `json:"next"`
+	Dropped uint64      `json:"dropped"`
+}
+
+// routeJSON is one session's path on /rib.
+type routeJSON struct {
+	Session int       `json:"session"`
+	Path    []uint32  `json:"path"`
+	Updated time.Time `json:"updated"`
+}
+
+// ribResponse is the /rib payload for one prefix.
+type ribResponse struct {
+	Prefix string      `json:"prefix"`
+	Routes []routeJSON `json:"routes"`
+	Best   *routeJSON  `json:"best,omitempty"`
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status         string  `json:"status"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	SessionsActive int64   `json:"sessions_active"`
+	Updates        uint64  `json:"updates"`
+	RIBPrefixes    int     `json:"rib_prefixes"`
+	Alerts         uint64  `json:"alerts"`
+	QueueDepth     int     `json:"queue_depth"`
+	WatchedPrefix  int     `json:"watched_prefixes"`
+}
+
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alerts", d.handleAlerts)
+	mux.HandleFunc("/rib", d.handleRIB)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleAlerts serves GET /alerts?since=N&max=M.
+func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	var cursor uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cursor = v
+	}
+	max := 1000
+	if s := r.URL.Query().Get("max"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		max = v
+	}
+	alerts, next, dropped := d.rng.since(cursor, max)
+	resp := alertsResponse{Alerts: make([]alertJSON, 0, len(alerts)), Next: next, Dropped: dropped}
+	for _, a := range alerts {
+		resp.Alerts = append(resp.Alerts, alertJSON{
+			Seq: a.Seq, Time: a.Time, Session: a.Session,
+			Prefix: a.Prefix.String(), Kind: a.Kind.String(),
+			ObservedAS: uint32(a.Observed),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func routeToJSON(rt Route) routeJSON {
+	path := make([]uint32, len(rt.Path))
+	for i, a := range rt.Path {
+		path[i] = uint32(a)
+	}
+	return routeJSON{Session: rt.Session, Path: path, Updated: rt.Updated}
+}
+
+// handleRIB serves GET /rib?prefix=10.0.0.0/16 (exact lookup) and
+// GET /rib?addr=10.0.1.2 (longest-prefix match).
+func (d *Daemon) handleRIB(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var entry *RIBEntry
+	var ok bool
+	switch {
+	case q.Get("prefix") != "":
+		p, err := netip.ParsePrefix(q.Get("prefix"))
+		if err != nil {
+			http.Error(w, "bad prefix: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		entry, ok = d.rib.Lookup(p)
+	case q.Get("addr") != "":
+		a, err := netip.ParseAddr(q.Get("addr"))
+		if err != nil {
+			http.Error(w, "bad addr: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		entry, ok = d.rib.LookupAddr(a)
+	default:
+		http.Error(w, "need ?prefix= or ?addr=", http.StatusBadRequest)
+		return
+	}
+	if !ok {
+		http.Error(w, "no route", http.StatusNotFound)
+		return
+	}
+	resp := ribResponse{Prefix: entry.Prefix.String()}
+	for _, rt := range entry.Routes {
+		resp.Routes = append(resp.Routes, routeToJSON(rt))
+	}
+	if best, ok := entry.Best(); ok {
+		bj := routeToJSON(best)
+		resp.Best = &bj
+	}
+	writeJSON(w, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	depth := 0
+	for _, ch := range d.shards {
+		depth += len(ch)
+	}
+	writeJSON(w, healthResponse{
+		Status:         "ok",
+		UptimeSeconds:  time.Since(d.met.start).Seconds(),
+		SessionsActive: d.met.sessionsActive.Load(),
+		Updates:        d.met.updates.Load(),
+		RIBPrefixes:    d.rib.Size(),
+		Alerts:         d.rng.total(),
+		QueueDepth:     depth,
+		WatchedPrefix:  len(d.cfg.Watched),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	depths := make([]int, len(d.shards))
+	for i, ch := range d.shards {
+		depths[i] = len(ch)
+	}
+	// Ring-level drop accounting: total appended minus what the ring
+	// still holds or any client could have seen is not tracked per
+	// client; expose evictions beyond capacity instead.
+	var droppedEver uint64
+	if total := d.rng.total(); total > uint64(d.cfg.AlertBuffer) {
+		droppedEver = total - uint64(d.cfg.AlertBuffer)
+	}
+	d.met.writePrometheus(w, d.rib.Size(), depths, droppedEver, d.sessionMetrics())
+}

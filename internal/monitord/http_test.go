@@ -1,0 +1,150 @@
+package monitord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newHTTPDaemon starts a daemon serving HTTP on loopback with two
+// ingested routes and one alert, and returns it with its base URL.
+func newHTTPDaemon(t *testing.T) (*Daemon, string) {
+	t.Helper()
+	d := newTestDaemon(t, Config{Shards: 4, ListenHTTP: "127.0.0.1:0"})
+	si := d.RegisterSource("test", 64501)
+	t0 := time.Unix(1000, 0)
+	d.Ingest(si, t0, watchedPrefix, asns(64501, 64500, 64496))
+	d.Ingest(si, t0.Add(time.Minute), netip.MustParsePrefix("10.0.1.0/24"), asns(64501, 666))
+	if !d.WaitQuiesce(5 * time.Second) {
+		t.Fatal("pipeline did not quiesce")
+	}
+	return d, "http://" + d.HTTPAddr()
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	code, body := httpGet(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, code, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+	}
+}
+
+func TestHTTPAlerts(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+
+	var resp alertsResponse
+	getJSON(t, base+"/alerts", &resp)
+	if len(resp.Alerts) != 1 || resp.Next != 1 || resp.Dropped != 0 {
+		t.Fatalf("/alerts = %+v, want exactly the more-specific alert", resp)
+	}
+	a := resp.Alerts[0]
+	if a.Kind != "more-specific" || a.Prefix != "10.0.1.0/24" || a.ObservedAS != 666 {
+		t.Errorf("alert = %+v", a)
+	}
+
+	// Cursor resume: nothing new.
+	getJSON(t, base+fmt.Sprintf("/alerts?since=%d", resp.Next), &resp)
+	if len(resp.Alerts) != 0 {
+		t.Errorf("resumed poll returned %+v, want none", resp.Alerts)
+	}
+
+	for _, bad := range []string{"/alerts?since=x", "/alerts?max=0", "/alerts?max=x"} {
+		if code, _ := httpGet(t, base+bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestHTTPRIB(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+
+	var resp ribResponse
+	getJSON(t, base+"/rib?prefix=10.0.0.0/16", &resp)
+	if resp.Prefix != "10.0.0.0/16" || len(resp.Routes) != 1 {
+		t.Fatalf("/rib?prefix = %+v", resp)
+	}
+	want := []uint32{64501, 64500, 64496}
+	if len(resp.Routes[0].Path) != 3 || resp.Routes[0].Path[2] != want[2] {
+		t.Errorf("path = %v, want %v", resp.Routes[0].Path, want)
+	}
+	if resp.Best == nil || resp.Best.Session != resp.Routes[0].Session {
+		t.Errorf("best = %+v", resp.Best)
+	}
+
+	// Address lookup takes the most specific covering prefix.
+	getJSON(t, base+"/rib?addr=10.0.1.7", &resp)
+	if resp.Prefix != "10.0.1.0/24" {
+		t.Errorf("/rib?addr LPM = %q, want the /24", resp.Prefix)
+	}
+
+	if code, _ := httpGet(t, base+"/rib?prefix=172.16.0.0/12"); code != http.StatusNotFound {
+		t.Errorf("missing prefix: status %d, want 404", code)
+	}
+	for _, bad := range []string{"/rib", "/rib?prefix=nope", "/rib?addr=nope"} {
+		if code, _ := httpGet(t, base+bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+	var h healthResponse
+	getJSON(t, base+"/healthz", &h)
+	if h.Status != "ok" || h.Updates != 2 || h.RIBPrefixes != 2 || h.Alerts != 1 {
+		t.Errorf("/healthz = %+v", h)
+	}
+	if h.WatchedPrefix != 1 || h.SessionsActive != 1 {
+		t.Errorf("/healthz watched/sessions = %+v", h)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"monitord_updates_ingested_total 2",
+		"monitord_withdrawals_total 0",
+		"monitord_rib_prefixes 2",
+		`monitord_alerts_total{kind="origin-change"} 0`,
+		`monitord_alerts_total{kind="more-specific"} 1`,
+		`monitord_alerts_total{kind="new-upstream"} 0`,
+		"monitord_alerts_dropped_total 0",
+		`monitord_ingest_queue_depth{shard="0"} 0`,
+		"monitord_sessions_accepted_total 1",
+		"monitord_sessions_active 1",
+		`monitord_session_updates_total{session="0",peer_as="64501",source="local",state="established"} 2`,
+		"# TYPE monitord_updates_per_second gauge",
+		"# TYPE monitord_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package monitord
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicksand/internal/defense"
+)
+
+// metrics aggregates the daemon's counters. Everything is atomic so the
+// shard workers and session readers never contend; gauges that need
+// structure traversal (RIB size, queue depths) are sampled at exposition
+// time by the HTTP layer.
+type metrics struct {
+	start time.Time
+
+	updates     atomic.Uint64 // announcements + withdrawals ingested
+	withdrawals atomic.Uint64
+	mrtRecords  atomic.Uint64
+
+	alerts [3]atomic.Uint64 // by defense.AlertKind
+
+	sessionsAccepted atomic.Uint64
+	sessionsActive   atomic.Int64
+	dialRetries      atomic.Uint64
+
+	// rate is a lazily updated updates/sec gauge: each exposition
+	// computes the rate over the window since the previous exposition
+	// (or since start, on the first one).
+	rateMu       sync.Mutex
+	rateLastAt   time.Time
+	rateLastSeen uint64
+	rateValue    float64
+}
+
+func newMetrics() *metrics {
+	now := time.Now()
+	return &metrics{start: now, rateLastAt: now}
+}
+
+func (m *metrics) alertCount(k defense.AlertKind) uint64 {
+	if int(k) < 0 || int(k) >= len(m.alerts) {
+		return 0
+	}
+	return m.alerts[k].Load()
+}
+
+// updatesPerSec returns the ingest rate over the window since the last
+// call, falling back to the lifetime mean for sub-10ms windows (repeated
+// scrapes would otherwise divide by ~zero).
+func (m *metrics) updatesPerSec() float64 {
+	m.rateMu.Lock()
+	defer m.rateMu.Unlock()
+	now := time.Now()
+	cur := m.updates.Load()
+	window := now.Sub(m.rateLastAt)
+	if window >= 10*time.Millisecond {
+		m.rateValue = float64(cur-m.rateLastSeen) / window.Seconds()
+		m.rateLastAt = now
+		m.rateLastSeen = cur
+	}
+	return m.rateValue
+}
+
+// sessionMetric is one session's row in the exposition, snapshotted by
+// the daemon under its registry lock.
+type sessionMetric struct {
+	ID      int
+	PeerAS  uint32
+	Source  string // "bgp", "collector", "mrt", "local"
+	State   string // "established", "closed"
+	Updates uint64
+}
+
+// writePrometheus renders the Prometheus text exposition format
+// (version 0.0.4), stdlib only.
+func (m *metrics) writePrometheus(w io.Writer, ribSize int, queueDepths []int, alertsDropped uint64, sessions []sessionMetric) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("monitord_updates_ingested_total", "BGP updates ingested through the pipeline.", m.updates.Load())
+	counter("monitord_withdrawals_total", "Withdrawals among the ingested updates.", m.withdrawals.Load())
+	gauge("monitord_updates_per_second", "Ingest rate over the last exposition window.", m.updatesPerSec())
+	counter("monitord_mrt_records_total", "MRT archive records ingested.", m.mrtRecords.Load())
+	gauge("monitord_rib_prefixes", "Prefixes with at least one live route.", float64(ribSize))
+
+	fmt.Fprintf(w, "# HELP monitord_alerts_total Monitor alerts raised, by kind.\n# TYPE monitord_alerts_total counter\n")
+	for k := defense.AlertOriginChange; k <= defense.AlertNewUpstream; k++ {
+		fmt.Fprintf(w, "monitord_alerts_total{kind=%q} %d\n", k.String(), m.alertCount(k))
+	}
+	counter("monitord_alerts_dropped_total", "Alerts evicted from the ring before any client read them.", alertsDropped)
+
+	fmt.Fprintf(w, "# HELP monitord_ingest_queue_depth Items waiting per dispatcher shard.\n# TYPE monitord_ingest_queue_depth gauge\n")
+	for i, d := range queueDepths {
+		fmt.Fprintf(w, "monitord_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+
+	counter("monitord_sessions_accepted_total", "BGP sessions ever established (inbound + outbound).", m.sessionsAccepted.Load())
+	gauge("monitord_sessions_active", "BGP sessions currently established.", float64(m.sessionsActive.Load()))
+	counter("monitord_dial_retries_total", "Outbound collector dial attempts that failed and backed off.", m.dialRetries.Load())
+	gauge("monitord_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+	fmt.Fprintf(w, "# HELP monitord_session_updates_total Updates ingested per session.\n# TYPE monitord_session_updates_total counter\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "monitord_session_updates_total{session=\"%d\",peer_as=\"%d\",source=%q,state=%q} %d\n",
+			s.ID, s.PeerAS, s.Source, s.State, s.Updates)
+	}
+}

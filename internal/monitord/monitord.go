@@ -1,0 +1,538 @@
+// Package monitord is the paper's §5 monitoring framework grown into a
+// long-running service: a daemon that speaks real BGP to any number of
+// concurrent peers (inbound sessions and outbound collector sessions),
+// replays MRT archives, funnels every update through a bounded,
+// backpressure-aware sharded pipeline into a live RIB, runs the
+// defense.Monitor origin/upstream checks in streaming mode, and exposes
+// the results over an HTTP API (/alerts, /rib, /healthz, /metrics).
+//
+// Counter-RAPTOR (Sun et al., 2017) deployed exactly this shape of
+// system against live update feeds; monitord is the serving layer that
+// turns the repository's batch monitor (defense.RunMonitor) into a
+// continuously tracking one, per Juen et al.'s observation that
+// detection value depends on continuously tracked path state rather
+// than snapshots.
+//
+// Concurrency model:
+//
+//   - one reader goroutine per BGP session decodes updates and enqueues
+//     one item per prefix onto a dispatcher shard chosen by hashing the
+//     prefix, so each prefix's updates are processed in arrival order;
+//   - shard channels are bounded: a flooding peer backpressures its own
+//     TCP session instead of growing memory;
+//   - each shard worker folds items into its slice of the live RIB and
+//     runs the (concurrency-safe) monitor, appending alerts to a ring
+//     buffer with monotonically increasing sequence numbers;
+//   - shutdown cancels the dialers, closes the listener and every
+//     session, waits for the readers, then closes the shard channels and
+//     drains them — no goroutine outlives Shutdown.
+package monitord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/bgpsim"
+	"quicksand/internal/defense"
+)
+
+// Config parameterises the daemon.
+type Config struct {
+	// Watched maps each monitored prefix to its legitimate origin AS
+	// (required, non-empty).
+	Watched map[netip.Prefix]bgp.ASN
+
+	// Speaker is the daemon's BGP identity for inbound and outbound
+	// sessions. Its OnClose hook is reserved for the daemon.
+	Speaker bgpd.Config
+
+	// ListenBGP is the TCP address accepting inbound BGP sessions
+	// ("" disables inbound BGP).
+	ListenBGP string
+	// ListenHTTP is the TCP address serving the HTTP API
+	// ("" disables HTTP).
+	ListenHTTP string
+
+	// Collectors lists remote BGP speakers to dial and keep sessions
+	// with, reconnecting with jittered exponential backoff.
+	Collectors []string
+
+	// Shards is the dispatcher width (default 8).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue (default 1024).
+	QueueDepth int
+	// AlertBuffer is the alert ring capacity (default 4096).
+	AlertBuffer int
+
+	// LearnUpdates treats (approximately) the first N ingested updates
+	// as a clean learning window for new-upstream alarms: they train the
+	// monitor without raising alerts, after which upstream alarms switch
+	// on. Zero disables the learning window.
+	LearnUpdates int
+	// UpstreamAlarms enables new-upstream alarms immediately, with
+	// whatever has been learned so far (mostly useful with
+	// LearnUpdates=0 for differential tests against the batch monitor).
+	UpstreamAlarms bool
+
+	// EstablishTimeout bounds the OPEN/KEEPALIVE handshake of every
+	// session (default 10s).
+	EstablishTimeout time.Duration
+
+	// DialBackoffBase and DialBackoffMax bound the reconnect backoff for
+	// outbound collector sessions (defaults 500ms and 30s).
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// Seed derives the backoff jitter (default 1); fixed so tests are
+	// reproducible.
+	Seed int64
+
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 8
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 1024
+	}
+	if out.AlertBuffer <= 0 {
+		out.AlertBuffer = 4096
+	}
+	if out.EstablishTimeout <= 0 {
+		out.EstablishTimeout = 10 * time.Second
+	}
+	if out.DialBackoffBase <= 0 {
+		out.DialBackoffBase = 500 * time.Millisecond
+	}
+	if out.DialBackoffMax <= 0 {
+		out.DialBackoffMax = 30 * time.Second
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// item is one prefix-level update flowing through the dispatcher.
+type item struct {
+	si     *sessionInfo
+	t      time.Time
+	prefix netip.Prefix
+	path   []bgp.ASN // nil = withdraw
+}
+
+// sessionInfo is the registry row for one update source.
+type sessionInfo struct {
+	id      int
+	peerAS  bgp.ASN
+	remote  string
+	source  string // "bgp", "collector", "mrt", "local"
+	sess    *bgpd.Session
+	started time.Time
+	updates atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Daemon is a running monitord instance. Create with New, stop with
+// Shutdown.
+type Daemon struct {
+	cfg Config
+	mon *defense.Monitor
+	rib *liveRIB
+	rng *ring
+	met *metrics
+
+	shards  []chan item
+	shardWG sync.WaitGroup
+
+	bgpLn   net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+	httpErr chan error
+
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	sessWG     sync.WaitGroup // acceptor + per-session handlers + dialers
+
+	mu       sync.Mutex
+	rawConns map[net.Conn]struct{}
+	sessions map[int]*sessionInfo
+	nextSess int
+
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+	learnSeen atomic.Uint64
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New validates cfg, binds the configured listeners, and starts the
+// pipeline, the acceptor, the collector dialers, and the HTTP server.
+// The daemon runs until Shutdown.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Watched) == 0 {
+		return nil, errors.New("monitord: Watched must name at least one prefix")
+	}
+	mon, err := defense.NewMonitor(cfg.Watched)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.UpstreamAlarms {
+		mon.EnableUpstream()
+	}
+	d := &Daemon{
+		cfg: cfg, mon: mon,
+		rib:      newLiveRIB(cfg.Shards),
+		rng:      newRing(cfg.AlertBuffer),
+		met:      newMetrics(),
+		shards:   make([]chan item, cfg.Shards),
+		rawConns: make(map[net.Conn]struct{}),
+		sessions: make(map[int]*sessionInfo),
+	}
+	d.dialCtx, d.dialCancel = context.WithCancel(context.Background())
+
+	if cfg.ListenBGP != "" {
+		if d.bgpLn, err = net.Listen("tcp", cfg.ListenBGP); err != nil {
+			return nil, fmt.Errorf("monitord: BGP listener: %w", err)
+		}
+	}
+	if cfg.ListenHTTP != "" {
+		if d.httpLn, err = net.Listen("tcp", cfg.ListenHTTP); err != nil {
+			if d.bgpLn != nil {
+				d.bgpLn.Close()
+			}
+			return nil, fmt.Errorf("monitord: HTTP listener: %w", err)
+		}
+	}
+
+	for i := range d.shards {
+		d.shards[i] = make(chan item, cfg.QueueDepth)
+		d.shardWG.Add(1)
+		go d.worker(d.shards[i])
+	}
+	if d.bgpLn != nil {
+		d.sessWG.Add(1)
+		go d.acceptLoop()
+		cfg.Logf("monitord: BGP listening on %s", d.bgpLn.Addr())
+	}
+	for _, addr := range cfg.Collectors {
+		d.sessWG.Add(1)
+		go d.dialLoop(addr)
+	}
+	if d.httpLn != nil {
+		d.httpSrv = &http.Server{Handler: d.handler()}
+		d.httpErr = make(chan error, 1)
+		go func() { d.httpErr <- d.httpSrv.Serve(d.httpLn) }()
+		cfg.Logf("monitord: HTTP listening on %s", d.httpLn.Addr())
+	}
+	return d, nil
+}
+
+// BGPAddr returns the bound BGP listener address ("" when disabled).
+func (d *Daemon) BGPAddr() string {
+	if d.bgpLn == nil {
+		return ""
+	}
+	return d.bgpLn.Addr().String()
+}
+
+// HTTPAddr returns the bound HTTP listener address ("" when disabled).
+func (d *Daemon) HTTPAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// RIB exposes the live routing table for in-process consumers.
+func (d *Daemon) RIB() interface {
+	Lookup(netip.Prefix) (*RIBEntry, bool)
+	LookupAddr(netip.Addr) (*RIBEntry, bool)
+	Size() int
+	Walk(func(*RIBEntry) bool)
+} {
+	return d.rib
+}
+
+// Alerts returns alerts with sequence >= cursor (see ring.since).
+func (d *Daemon) Alerts(cursor uint64, max int) (alerts []SeqAlert, next uint64, dropped uint64) {
+	return d.rng.since(cursor, max)
+}
+
+// acceptLoop accepts inbound BGP connections until the listener closes.
+func (d *Daemon) acceptLoop() {
+	defer d.sessWG.Done()
+	for {
+		conn, err := d.bgpLn.Accept()
+		if err != nil {
+			return
+		}
+		if !d.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		d.sessWG.Add(1)
+		go d.handleConn(conn, "bgp")
+	}
+}
+
+// trackConn registers a not-yet-established conn so Shutdown can
+// unblock its handshake. It reports false when the daemon is already
+// shutting down.
+func (d *Daemon) trackConn(conn net.Conn) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rawConns == nil {
+		return false
+	}
+	d.rawConns[conn] = struct{}{}
+	return true
+}
+
+func (d *Daemon) untrackConn(conn net.Conn) {
+	d.mu.Lock()
+	if d.rawConns != nil {
+		delete(d.rawConns, conn)
+	}
+	d.mu.Unlock()
+}
+
+// handleConn runs the OPEN handshake and then the session's read loop.
+func (d *Daemon) handleConn(conn net.Conn, source string) {
+	defer d.sessWG.Done()
+	conn.SetDeadline(time.Now().Add(d.cfg.EstablishTimeout))
+	spk := d.cfg.Speaker
+	sess, err := bgpd.Establish(conn, spk)
+	d.untrackConn(conn)
+	if err != nil {
+		conn.Close()
+		d.cfg.Logf("monitord: %s handshake from %v failed: %v", source, conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	si := d.registerSession(sess, conn.RemoteAddr().String(), source)
+	d.cfg.Logf("monitord: session %d established with AS%d (%s)", si.id, uint32(si.peerAS), si.remote)
+	d.readLoop(sess, si)
+}
+
+// registerSession adds an established session to the registry.
+func (d *Daemon) registerSession(sess *bgpd.Session, remote, source string) *sessionInfo {
+	d.mu.Lock()
+	si := &sessionInfo{
+		id: d.nextSess, sess: sess, remote: remote, source: source,
+		started: time.Now(),
+	}
+	if sess != nil {
+		si.peerAS = sess.PeerAS()
+	}
+	d.nextSess++
+	d.sessions[si.id] = si
+	d.mu.Unlock()
+	d.met.sessionsAccepted.Add(1)
+	d.met.sessionsActive.Add(1)
+	return si
+}
+
+func (d *Daemon) closeSession(si *sessionInfo) {
+	if si.closed.CompareAndSwap(false, true) {
+		d.met.sessionsActive.Add(-1)
+	}
+	if si.sess != nil {
+		si.sess.Close()
+	}
+}
+
+// readLoop decodes updates from an established session until it fails
+// (peer NOTIFICATION, hold-timer expiry, or Shutdown closing it) and
+// feeds them into the dispatcher stamped with their arrival time.
+func (d *Daemon) readLoop(sess *bgpd.Session, si *sessionInfo) {
+	defer d.closeSession(si)
+	for {
+		u, err := sess.RecvUpdate()
+		if err != nil {
+			if !errors.Is(err, bgpd.ErrClosed) {
+				d.cfg.Logf("monitord: session %d down: %v", si.id, err)
+			}
+			return
+		}
+		now := time.Now()
+		for _, p := range u.Withdrawn {
+			d.enqueue(item{si: si, t: now, prefix: p})
+		}
+		if len(u.NLRI) > 0 && u.Attrs.HasASPath {
+			path := flattenPath(u.Attrs.ASPath)
+			for _, p := range u.NLRI {
+				d.enqueue(item{si: si, t: now, prefix: p, path: path})
+			}
+		}
+	}
+}
+
+func flattenPath(p bgp.ASPath) []bgp.ASN {
+	var out []bgp.ASN
+	for _, s := range p.Segments {
+		out = append(out, s.ASes...)
+	}
+	return out
+}
+
+// enqueue dispatches one item to its prefix's shard, blocking when the
+// shard queue is full (backpressure).
+func (d *Daemon) enqueue(it item) {
+	if !it.prefix.IsValid() || !it.prefix.Addr().Is4() {
+		return
+	}
+	d.enqueued.Add(1)
+	d.shards[d.rib.shardOf(it.prefix)] <- it
+}
+
+// worker is one dispatcher shard: RIB fold, monitor check, alert fanout.
+func (d *Daemon) worker(ch chan item) {
+	defer d.shardWG.Done()
+	for it := range ch {
+		d.rib.apply(it.t, it.si.id, it.prefix, it.path)
+		it.si.updates.Add(1)
+		d.met.updates.Add(1)
+		if len(it.path) == 0 {
+			d.met.withdrawals.Add(1)
+		}
+		ev := bgpsim.UpdateEvent{Time: it.t, Session: it.si.id, Prefix: it.prefix, Path: it.path}
+		n := d.learnSeen.Add(1)
+		if learn := uint64(d.cfg.LearnUpdates); n <= learn {
+			d.mon.Learn(&ev)
+			if n == learn {
+				d.mon.EnableUpstream()
+				d.cfg.Logf("monitord: learning window done (%d updates), upstream alarms on", learn)
+			}
+		} else {
+			for _, a := range d.mon.Observe(&ev) {
+				d.rng.append(a)
+				if int(a.Kind) >= 0 && int(a.Kind) < len(d.met.alerts) {
+					d.met.alerts[a.Kind].Add(1)
+				}
+			}
+		}
+		d.processed.Add(1)
+	}
+}
+
+// RegisterSource allocates a session id for an in-process update source
+// (MRT replay, simulation streams, tests) so its updates are tracked
+// like any BGP peer's.
+func (d *Daemon) RegisterSource(name string, peer bgp.ASN) int {
+	si := d.registerSession(nil, name, "local")
+	si.peerAS = peer
+	return si.id
+}
+
+// Ingest feeds one update into the pipeline as if received on the given
+// source session, preserving the caller's timestamp. It must not be
+// called after Shutdown. A nil path is a withdrawal.
+func (d *Daemon) Ingest(session int, t time.Time, prefix netip.Prefix, path []bgp.ASN) error {
+	d.mu.Lock()
+	si, ok := d.sessions[session]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("monitord: unknown session %d", session)
+	}
+	d.enqueue(item{si: si, t: t, prefix: prefix, path: path})
+	return nil
+}
+
+// WaitQuiesce blocks until every enqueued item has been processed, or
+// the timeout elapses; it reports whether the pipeline went idle. Tests
+// and MRT batch loads use it to read consistent state.
+func (d *Daemon) WaitQuiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if d.processed.Load() == d.enqueued.Load() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sessionMetrics snapshots the registry for /metrics.
+func (d *Daemon) sessionMetrics() []sessionMetric {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]sessionMetric, 0, len(d.sessions))
+	for _, si := range d.sessions {
+		state := "established"
+		if si.closed.Load() {
+			state = "closed"
+		}
+		out = append(out, sessionMetric{
+			ID: si.id, PeerAS: uint32(si.peerAS), Source: si.source,
+			State: state, Updates: si.updates.Load(),
+		})
+	}
+	return out
+}
+
+// Shutdown gracefully stops the daemon: no new sessions, every live
+// session closed, the pipeline drained, and the HTTP server stopped.
+// It is idempotent; ctx bounds only the HTTP drain.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.shutOnce.Do(func() {
+		d.dialCancel()
+		if d.bgpLn != nil {
+			d.bgpLn.Close()
+		}
+		// Unblock pending handshakes and close established sessions.
+		d.mu.Lock()
+		raw := make([]net.Conn, 0, len(d.rawConns))
+		for c := range d.rawConns {
+			raw = append(raw, c)
+		}
+		d.rawConns = nil // refuse late acceptors
+		sess := make([]*sessionInfo, 0, len(d.sessions))
+		for _, si := range d.sessions {
+			sess = append(sess, si)
+		}
+		d.mu.Unlock()
+		for _, c := range raw {
+			c.Close()
+		}
+		for _, si := range sess {
+			d.closeSession(si)
+		}
+		d.sessWG.Wait()
+		// All producers are gone: close the shards and drain them.
+		for _, ch := range d.shards {
+			close(ch)
+		}
+		d.shardWG.Wait()
+		if d.httpSrv != nil {
+			if err := d.httpSrv.Shutdown(ctx); err != nil {
+				d.shutErr = err
+			}
+			if err := <-d.httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) && d.shutErr == nil {
+				d.shutErr = err
+			}
+		}
+		d.cfg.Logf("monitord: shutdown complete (%d updates ingested, %d alerts)",
+			d.met.updates.Load(), d.rng.total())
+	})
+	return d.shutErr
+}

@@ -1,0 +1,75 @@
+package monitord
+
+import (
+	"sync"
+
+	"quicksand/internal/defense"
+)
+
+// SeqAlert is a monitor alert stamped with its position in the daemon's
+// alert sequence. Sequence numbers start at 0 and never repeat, so a
+// client that remembers the cursor returned by /alerts can poll without
+// ever seeing an alert twice — and can detect (via Dropped) when it fell
+// so far behind that the ring evicted alerts it never saw.
+type SeqAlert struct {
+	Seq uint64
+	defense.Alert
+}
+
+// ring is a fixed-capacity circular buffer of alerts. Appends never
+// block and never fail: when full, the oldest alert is evicted and
+// accounted as dropped.
+type ring struct {
+	mu   sync.Mutex
+	buf  []SeqAlert
+	next uint64 // sequence number of the next append
+	n    int    // live entries: sequences [next-n, next)
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]SeqAlert, capacity)}
+}
+
+// append stores a and returns its sequence number.
+func (r *ring) append(a defense.Alert) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq := r.next
+	r.buf[seq%uint64(len(r.buf))] = SeqAlert{Seq: seq, Alert: a}
+	r.next++
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return seq
+}
+
+// since returns up to max alerts with sequence >= cursor, the cursor to
+// pass next time, and how many alerts in the requested range were
+// evicted before they could be read. max <= 0 means no limit.
+func (r *ring) since(cursor uint64, max int) (alerts []SeqAlert, next uint64, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := r.next - uint64(r.n)
+	if cursor > r.next {
+		cursor = r.next
+	}
+	start := cursor
+	if start < oldest {
+		dropped = oldest - start
+		start = oldest
+	}
+	for seq := start; seq < r.next; seq++ {
+		if max > 0 && len(alerts) >= max {
+			break
+		}
+		alerts = append(alerts, r.buf[seq%uint64(len(r.buf))])
+	}
+	return alerts, start + uint64(len(alerts)), dropped
+}
+
+// total returns how many alerts have ever been appended.
+func (r *ring) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

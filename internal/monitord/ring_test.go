@@ -1,0 +1,82 @@
+package monitord
+
+import (
+	"net/netip"
+	"testing"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/defense"
+)
+
+func mkAlert(i int) defense.Alert {
+	return defense.Alert{
+		Session:  i,
+		Prefix:   netip.MustParsePrefix("10.0.0.0/16"),
+		Kind:     defense.AlertOriginChange,
+		Observed: bgp.ASN(666),
+	}
+}
+
+func TestRingSequencesAndEviction(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 6; i++ {
+		if seq := r.append(mkAlert(i)); seq != uint64(i) {
+			t.Fatalf("append %d: seq = %d", i, seq)
+		}
+	}
+	if got := r.total(); got != 6 {
+		t.Fatalf("total = %d, want 6", got)
+	}
+
+	alerts, next, dropped := r.since(0, 0)
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2 (capacity 4, 6 appended)", dropped)
+	}
+	if len(alerts) != 4 {
+		t.Fatalf("got %d alerts, want 4", len(alerts))
+	}
+	for i, a := range alerts {
+		if a.Seq != uint64(2+i) {
+			t.Errorf("alerts[%d].Seq = %d, want %d", i, a.Seq, 2+i)
+		}
+		if a.Session != 2+i {
+			t.Errorf("alerts[%d].Session = %d, want %d (evicted entry leaked)", i, a.Session, 2+i)
+		}
+	}
+	if next != 6 {
+		t.Errorf("next = %d, want 6", next)
+	}
+}
+
+func TestRingSinceCursorSemantics(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 5; i++ {
+		r.append(mkAlert(i))
+	}
+
+	// Resuming from a cursor returns only newer alerts.
+	alerts, next, dropped := r.since(3, 0)
+	if dropped != 0 || len(alerts) != 2 || alerts[0].Seq != 3 || next != 5 {
+		t.Errorf("since(3) = %d alerts (first seq %v), next %d, dropped %d; want 2, 3, 5, 0",
+			len(alerts), alerts, next, dropped)
+	}
+
+	// max caps the page; next points at the first unreturned alert.
+	alerts, next, _ = r.since(0, 2)
+	if len(alerts) != 2 || next != 2 {
+		t.Errorf("since(0, max=2) = %d alerts, next %d; want 2, 2", len(alerts), next)
+	}
+
+	// A cursor from the future clamps to the present.
+	alerts, next, dropped = r.since(100, 0)
+	if len(alerts) != 0 || next != 5 || dropped != 0 {
+		t.Errorf("since(100) = %d alerts, next %d, dropped %d; want 0, 5, 0", len(alerts), next, dropped)
+	}
+
+	// Polling with the returned cursor never re-reads.
+	r.append(mkAlert(5))
+	alerts, _, _ = r.since(next, 0)
+	if len(alerts) != 1 || alerts[0].Seq != 5 {
+		t.Errorf("poll after append = %v, want exactly seq 5", alerts)
+	}
+}

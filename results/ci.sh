@@ -8,8 +8,9 @@
 #   4. go test ./...                  (tier-1; includes the testkit
 #      invariant/differential layers and the golden regression suite)
 #   5. go test -race ./...
-#   6. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
-#   7. per-package coverage floors (see floor() below)
+#   6. serve smoke: the loopback monitord end-to-end tests under -race
+#   7. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
+#   8. per-package coverage floors (see floor() below)
 #
 # Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
 # skip the fuzz smoke (e.g. on very slow machines).
@@ -40,6 +41,13 @@ go test -count=1 -cover ./... | tee "$cover_out"
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== serve smoke (loopback daemon end-to-end, -race) =="
+# The monitord acceptance path: boot `quicksand serve` wiring and the
+# daemon on loopback, replay an interception over a real BGP session,
+# and read alerts/metrics back over HTTP with the race detector on.
+go test -race -count=1 -run 'TestServeSmoke|TestServeEndToEnd|TestCollectorReconnect' \
+    ./cmd/quicksand/ ./internal/monitord/
+
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     # -fuzzminimizetime=1x: on small machines the default 60s minimization
@@ -58,8 +66,11 @@ echo "== coverage floors =="
 # real coverage regressions fail. Raise them as coverage improves.
 awk '
 function floor(pkg) {
-    if (pkg == "quicksand/cmd/quicksand") return 40   # main() wiring untested
-    return 80                                         # library packages
+    if (pkg == "quicksand/cmd/quicksand") return 40    # main() wiring untested
+    if (pkg == "quicksand/cmd/bgpgen") return 50       # main() wiring untested
+    if (pkg == "quicksand/cmd/torgen") return 50       # main() wiring untested
+    if (pkg == "quicksand/internal/monitord") return 80 # daemon floor (required)
+    return 80                                          # library packages
 }
 $1 == "ok" {
     pkg = $2
