@@ -21,6 +21,7 @@ import (
 
 	"quicksand"
 	"quicksand/internal/bgpsim"
+	"quicksand/internal/obs"
 )
 
 func main() {
@@ -28,14 +29,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "root seed")
 	out := flag.String("out", ".", "output directory")
 	attacks := flag.Int("attacks", 0, "embed this many same-prefix hijacks of Tor prefixes in the churn")
+	var oo obs.Options
+	oo.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*scale, *seed, *out, *attacks); err != nil {
+	rt, err := oo.Start("bgpgen", os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpgen:", err)
+		os.Exit(1)
+	}
+	var met *bgpsim.Metrics
+	if oo.Enabled() {
+		met = bgpsim.NewMetrics(rt.Reg)
+	}
+	err = run(*scale, *seed, *out, *attacks, rt.Trace, met)
+	if rt.Trace != nil {
+		rt.Trace.WriteSummary(os.Stderr)
+	}
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgpgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, out string, attacks int) error {
+// run generates the archives. tr and met are the (nil-safe) tracing and
+// churn-metric hooks from the observability flags.
+func run(scale string, seed int64, out string, attacks int, tr *obs.Tracer, met *bgpsim.Metrics) error {
 	wcfg := quicksand.SmallWorldConfig()
 	mcfg := quicksand.SmallMonthConfig()
 	if scale == "paper" {
@@ -50,7 +71,9 @@ func run(scale string, seed int64, out string, attacks int) error {
 	mcfg.Seed = seed
 
 	fmt.Fprintf(os.Stderr, "building %s world...\n", scale)
+	sp := tr.Start("build_world", obs.String("scale", scale))
 	w, err := quicksand.BuildWorld(wcfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -68,14 +91,19 @@ func run(scale string, seed int64, out string, attacks int) error {
 			return a.Bits() < b.Bits()
 		})
 	}
+	mcfg.Metrics = met
 	fmt.Fprintf(os.Stderr, "simulating churn over %v...\n", mcfg.Duration)
+	sp = tr.Start("simulate_churn", obs.Int("attacks", attacks))
 	st, err := w.SimulateMonth(mcfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
+	exp := tr.Start("export_mrt", obs.Int("collectors", len(mcfg.Collectors)))
+	defer exp.End()
 	for _, c := range mcfg.Collectors {
 		ribPath := filepath.Join(out, c.Name+".rib.mrt")
 		updPath := filepath.Join(out, c.Name+".updates.mrt")

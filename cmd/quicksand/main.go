@@ -37,6 +37,14 @@
 //	-workers N           worker goroutines per study (default: one per
 //	                     CPU); results are identical for any value
 //	-pcap DIR            write fig2right captures as .pcap files
+//	-v                   structured per-experiment and per-trial progress
+//	                     logs with an ETA (off by default)
+//
+// Observability flags shared with every binary in this repository
+// (see internal/obs): -metrics-addr serves Prometheus text-format
+// metrics, -log-level/-log-json control the structured logger, -trace
+// writes a JSONL span trace (a per-phase wall-time summary is printed
+// at exit), and -pprof exposes net/http/pprof.
 //
 // Every study derives one RNG per trial from the root seed, so output
 // is bit-for-bit identical regardless of -workers. Under "all", the
@@ -50,14 +58,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quicksand"
 	"quicksand/internal/analysis"
 	"quicksand/internal/bgpsim"
+	"quicksand/internal/obs"
 	"quicksand/internal/par"
 	"quicksand/internal/stats"
 	"quicksand/internal/tcpsim"
@@ -77,13 +88,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "worker goroutines per study (<1 = one per CPU)")
 	pcapDir := flag.String("pcap", "", "directory to write fig2right packet captures (.pcap) into")
+	verbose := flag.Bool("v", false, "log structured per-experiment and per-trial progress (with ETA)")
+	var oo obs.Options
+	oo.RegisterFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *scale, *seed, *workers, *pcapDir); err != nil {
+	if err := run(flag.Arg(0), *scale, *seed, *workers, *pcapDir, &oo, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "quicksand:", err)
 		os.Exit(1)
 	}
@@ -96,6 +110,8 @@ func usage() {
 experiments: dataset fig2left fig2right fig3left fig3right
              anonymity hijack intercept defend
              convergence rotation rov detect ablation all
+
+observability: -v -metrics-addr ADDR -log-level L -log-json -trace FILE -pprof
 `)
 }
 
@@ -107,6 +123,13 @@ type app struct {
 	seed    int64
 	workers int
 	pcapDir string
+
+	// Observability handles. The zero value (all nil) is the fully
+	// disabled state: every use below is nil-safe, so tests can build a
+	// bare &app{...} and batch runs pay nothing unless a flag is set.
+	log    *slog.Logger    // -v progress records; nil = quiet
+	trace  *obs.Tracer     // span trace; nil = off
+	simMet *bgpsim.Metrics // churn-simulator counters; nil = off
 
 	worldOnce sync.Once
 	world     *quicksand.World
@@ -142,20 +165,98 @@ func (a *app) steps() []step {
 	}
 }
 
-func run(name, scale string, seed int64, workers int, pcapDir string) error {
+func run(name, scale string, seed int64, workers int, pcapDir string, oo *obs.Options, verbose bool) error {
 	if scale != "small" && scale != "paper" {
 		return fmt.Errorf("unknown scale %q", scale)
 	}
+	rt, err := oo.Start("quicksand", os.Stderr)
+	if err != nil {
+		return err
+	}
 	a := &app{scale: scale, seed: seed, workers: workers, pcapDir: pcapDir}
-	if name == "all" {
-		return a.runAll()
+	if oo.Enabled() || verbose {
+		a.attachObs(rt, verbose)
+		defer par.SetObserver(nil)
 	}
-	for _, s := range a.steps() {
-		if s.name == name {
-			return s.fn(os.Stdout)
+	runErr := func() error {
+		if name == "all" {
+			return a.runAll()
 		}
+		for _, s := range a.steps() {
+			if s.name == name {
+				return a.runStep(s, os.Stdout)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}()
+	if rt.Trace != nil {
+		rt.Trace.WriteSummary(os.Stderr)
 	}
-	return fmt.Errorf("unknown experiment %q", name)
+	if cerr := rt.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+// attachObs hooks the app and the shared worker pool into a built
+// observability runtime. Metrics, spans, and pprof follow the obs
+// flags; the per-experiment/per-trial progress records additionally
+// require -v.
+func (a *app) attachObs(rt *obs.Runtime, verbose bool) {
+	a.trace = rt.Trace
+	a.simMet = bgpsim.NewMetrics(rt.Reg)
+	ob := par.NewObserver(rt.Reg)
+	ob.Trace = rt.Trace
+	if verbose {
+		a.log = rt.Log
+		ob.Progress = progressLogger(rt.Log)
+	}
+	par.SetObserver(ob)
+}
+
+// info logs one structured progress record when -v is on.
+func (a *app) info(msg string, args ...any) {
+	if a.log != nil {
+		a.log.Info(msg, args...)
+	}
+}
+
+// runStep renders one experiment under a trace span and -v logs.
+func (a *app) runStep(s step, w io.Writer) error {
+	sp := a.trace.Start("experiment", obs.String("name", s.name))
+	start := time.Now()
+	a.info("experiment start", slog.String("experiment", s.name))
+	err := s.fn(w)
+	sp.End()
+	a.info("experiment done", slog.String("experiment", s.name),
+		slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)),
+		slog.Bool("ok", err == nil))
+	return err
+}
+
+// progressLogger adapts the -v logger into a par.Observer progress
+// callback: fan-out completions with a completion-rate ETA, throttled
+// to roughly two records a second so large studies stay readable (the
+// final completion always logs).
+func progressLogger(log *slog.Logger) func(done, total int, elapsed time.Duration) {
+	var last atomic.Int64
+	return func(done, total int, elapsed time.Duration) {
+		if done != total {
+			now := time.Now().UnixNano()
+			prev := last.Load()
+			if now-prev < int64(500*time.Millisecond) || !last.CompareAndSwap(prev, now) {
+				return
+			}
+		}
+		var eta time.Duration
+		if done > 0 {
+			eta = time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+		}
+		log.Info("trial progress",
+			slog.Int("done", done), slog.Int("total", total),
+			slog.Duration("elapsed", elapsed.Round(time.Millisecond)),
+			slog.Duration("eta", eta.Round(time.Millisecond)))
+	}
 }
 
 // runAll executes every experiment concurrently on the worker pool and
@@ -175,7 +276,7 @@ func (a *app) runAll() error {
 		// Step-level errors are collected per step (not propagated via
 		// the pool) so every independent report still completes.
 		_ = par.ForEach(a.workers, len(steps), func(i int) error {
-			errs[i] = steps[i].fn(&bufs[i])
+			errs[i] = a.runStep(steps[i], &bufs[i])
 			done <- i
 			return nil
 		})
@@ -201,6 +302,8 @@ func (a *app) runAll() error {
 
 func (a *app) getWorld() (*quicksand.World, error) {
 	a.worldOnce.Do(func() {
+		sp := a.trace.Start("build_world", obs.String("scale", a.scale))
+		defer sp.End()
 		cfg := quicksand.SmallWorldConfig()
 		if a.scale == "paper" {
 			cfg = quicksand.DefaultWorldConfig()
@@ -226,10 +329,13 @@ func (a *app) getStream() (*bgpsim.Stream, error) {
 			cfg = bgpsim.DefaultConfig()
 		}
 		cfg.Seed = a.seed
+		cfg.Metrics = a.simMet
 		fmt.Fprintf(os.Stderr, "# simulating BGP churn over %v (%d sessions)...\n",
 			cfg.Duration, sessions(cfg))
 		start := time.Now()
+		sp := a.trace.Start("simulate_stream", obs.Int("sessions", sessions(cfg)))
 		st, err := w.SimulateMonth(cfg)
+		sp.End()
 		if err != nil {
 			a.strmErr = err
 			return

@@ -6,7 +6,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -19,6 +18,7 @@ import (
 	"quicksand/internal/bgp"
 	"quicksand/internal/bgpd"
 	"quicksand/internal/monitord"
+	"quicksand/internal/obs"
 )
 
 // serveOpts are the parsed flags of the serve subcommand.
@@ -42,6 +42,8 @@ type serveOpts struct {
 	shards         int
 	queueDepth     int
 	alertBuffer    int
+
+	obs obs.Options
 }
 
 func serveFlags(fs *flag.FlagSet) *serveOpts {
@@ -62,6 +64,7 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 	fs.IntVar(&o.shards, "shards", 0, "dispatcher shards (0 = default)")
 	fs.IntVar(&o.queueDepth, "queue-depth", 0, "per-shard ingest queue bound (0 = default)")
 	fs.IntVar(&o.alertBuffer, "alert-buffer", 0, "alert ring capacity (0 = default)")
+	o.obs.RegisterFlags(fs)
 	return o
 }
 
@@ -197,26 +200,36 @@ HTTP (GET /alerts, /rib, /healthz, /metrics).
 		return fmt.Errorf("serve takes no positional arguments")
 	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	cfg, err := o.serveConfig(logger.Printf)
+	rt, err := o.obs.Start("monitord", os.Stderr)
 	if err != nil {
 		return err
 	}
+	defer rt.Close()
+	logf := func(format string, args ...any) { rt.Log.Info(fmt.Sprintf(format, args...)) }
+	cfg, err := o.serveConfig(logf)
+	if err != nil {
+		return err
+	}
+	// The daemon and its BGP speaker share the runtime's registry, so
+	// monitord_* and bgpd_* families appear on both the daemon's own
+	// /metrics endpoint and the optional -metrics-addr server.
+	cfg.Registry = rt.Reg
+	cfg.Speaker.Metrics = bgpd.NewMetrics(rt.Reg)
 	d, err := monitord.New(cfg)
 	if err != nil {
 		return err
 	}
-	logger.Printf("serve: watching %d prefixes; BGP %s, HTTP %s",
+	logf("serve: watching %d prefixes; BGP %s, HTTP %s",
 		len(cfg.Watched), orDisabled(d.BGPAddr()), orDisabled(d.HTTPAddr()))
 
 	for _, path := range splitList(o.ribFile) {
-		if err := ingestFile(d, path, true, logger.Printf); err != nil {
+		if err := ingestFile(d, path, true, logf); err != nil {
 			shutdownQuiet(d)
 			return err
 		}
 	}
 	for _, path := range splitList(o.mrtFiles) {
-		if err := ingestFile(d, path, false, logger.Printf); err != nil {
+		if err := ingestFile(d, path, false, logf); err != nil {
 			shutdownQuiet(d)
 			return err
 		}
@@ -225,10 +238,13 @@ HTTP (GET /alerts, /rib, /healthz, /metrics).
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	logger.Printf("serve: %v received, shutting down...", s)
+	logf("serve: %v received, shutting down...", s)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return d.Shutdown(ctx)
+	if err := d.Shutdown(ctx); err != nil {
+		return err
+	}
+	return rt.Close()
 }
 
 func ingestFile(d *monitord.Daemon, path string, snapshot bool, logf func(string, ...any)) error {

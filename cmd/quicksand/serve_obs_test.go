@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgpd"
+	"quicksand/internal/monitord"
+	"quicksand/internal/testkit"
+)
+
+// TestServeObsSmoke exercises the serve subcommand's observability
+// wiring exactly as serveCmd builds it: obs flags parsed from the serve
+// flag set, a runtime with -metrics-addr and -pprof, and the daemon
+// sharing the runtime's registry. The obs endpoint must then serve a
+// lint-clean exposition containing the monitord families, and pprof
+// must answer.
+func TestServeObsSmoke(t *testing.T) {
+	watch := filepath.Join(t.TempDir(), "watch.txt")
+	if err := os.WriteFile(watch, []byte("10.0.0.0/16 64496\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	o := serveFlags(fs)
+	if err := fs.Parse([]string{
+		"-watch", watch,
+		"-listen-bgp", "",
+		"-listen-http", "127.0.0.1:0",
+		"-metrics-addr", "127.0.0.1:0",
+		"-pprof",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.obs.Enabled() {
+		t.Fatal("obs flags did not enable the runtime")
+	}
+	rt, err := o.obs.Start("monitord", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	cfg, err := o.serveConfig(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = rt.Reg
+	cfg.Speaker.Metrics = bgpd.NewMetrics(rt.Reg)
+	d, err := monitord.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		http.DefaultClient.CloseIdleConnections()
+	}()
+
+	get := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// The shared registry appears on both the obs endpoint and the
+	// daemon's own /metrics, bgpd_* families included.
+	for _, addr := range []string{rt.MetricsAddr(), d.HTTPAddr()} {
+		text := get("http://" + addr + "/metrics")
+		for _, family := range []string{"monitord_updates_ingested_total", "bgpd_sessions_established_total"} {
+			if !strings.Contains(text, family) {
+				t.Errorf("%s/metrics missing %s", addr, family)
+			}
+		}
+		if errs := testkit.LintProm(text); len(errs) != 0 {
+			t.Errorf("%s/metrics fails lint: %v", addr, errs)
+		}
+	}
+	if body := get("http://" + rt.MetricsAddr() + "/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline endpoint returned nothing")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"quicksand"
 	"quicksand/internal/bgp"
+	"quicksand/internal/obs"
 )
 
 func main() {
@@ -25,14 +26,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "root seed")
 	out := flag.String("out", "consensus.txt", "consensus output file")
 	prefixes := flag.String("prefixes", "prefixes.txt", "prefix origination output file")
+	var oo obs.Options
+	oo.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*scale, *seed, *out, *prefixes); err != nil {
+	rt, err := oo.Start("torgen", os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torgen:", err)
+		os.Exit(1)
+	}
+	err = run(*scale, *seed, *out, *prefixes, rt.Trace)
+	if rt.Trace != nil {
+		rt.Trace.WriteSummary(os.Stderr)
+	}
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "torgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, out, prefixFile string) error {
+// run generates the consensus and prefix table. tr is the (nil-safe)
+// tracer from the observability flags.
+func run(scale string, seed int64, out, prefixFile string, tr *obs.Tracer) error {
 	cfg := quicksand.SmallWorldConfig()
 	if scale == "paper" {
 		cfg = quicksand.DefaultWorldConfig()
@@ -42,11 +59,15 @@ func run(scale string, seed int64, out, prefixFile string) error {
 	cfg.Seed = seed
 	cfg.Topology.Seed = seed
 	cfg.Consensus.Seed = seed
+	sp := tr.Start("build_world", obs.String("scale", scale))
 	w, err := quicksand.BuildWorld(cfg)
+	sp.End()
 	if err != nil {
 		return err
 	}
 
+	sp = tr.Start("write_output")
+	defer sp.End()
 	f, err := os.Create(out)
 	if err != nil {
 		return err

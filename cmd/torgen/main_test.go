@@ -19,7 +19,7 @@ func TestRunSmoke(t *testing.T) {
 	dir := t.TempDir()
 	consPath := filepath.Join(dir, "consensus.txt")
 	prefPath := filepath.Join(dir, "prefixes.txt")
-	if err := run("small", 1, consPath, prefPath); err != nil {
+	if err := run("small", 1, consPath, prefPath, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 
@@ -81,7 +81,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatal("prefix table is empty")
 	}
 
-	if err := run("bogus", 1, consPath, prefPath); err == nil {
+	if err := run("bogus", 1, consPath, prefPath, nil); err == nil {
 		t.Error("run with unknown scale succeeded")
 	}
 }

@@ -39,6 +39,9 @@ type Config struct {
 	// teardown and must not call back into Close (the teardown is still
 	// holding its once-guard).
 	OnClose func(*Session)
+	// Metrics, when set, counts session lifecycle events and messages
+	// in/out. Typically one Metrics shared by all sessions of a daemon.
+	Metrics *Metrics
 }
 
 func (c *Config) validate() error {
@@ -75,6 +78,7 @@ type Session struct {
 	readBuf []byte
 
 	onClose func(*Session)
+	met     *Metrics
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -124,7 +128,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	}
 
 	s := &Session{
-		conn: conn, localAS: cfg.ASN, onClose: cfg.OnClose,
+		conn: conn, localAS: cfg.ASN, onClose: cfg.OnClose, met: cfg.Metrics,
 		closed: make(chan struct{}), kaDone: make(chan struct{}),
 	}
 
@@ -134,6 +138,9 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	writeErr := make(chan error, 1)
 	go func() {
 		_, err := conn.Write(raw)
+		if err == nil {
+			s.met.MsgOut(bgp.TypeOpen)
+		}
 		writeErr <- err
 	}()
 	peerRaw, msgType, err := s.readMessage(0)
@@ -185,6 +192,8 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got type %d", msgType)
 	}
 
+	s.met.sessionEstablished()
+
 	// Background keepalives at a third of the hold time.
 	if s.holdTime > 0 {
 		s.kaStarted = true
@@ -209,6 +218,9 @@ func (s *Session) write(raw []byte, timeout time.Duration) error {
 		defer s.conn.SetWriteDeadline(time.Time{})
 	}
 	_, err := s.conn.Write(raw)
+	if err == nil && len(raw) > bgp.HeaderLen-1 {
+		s.met.MsgOut(int(raw[bgp.HeaderLen-1]))
+	}
 	return err
 }
 
@@ -258,6 +270,7 @@ func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
 		}
 		return nil, 0, err
 	}
+	s.met.MsgIn(msgType)
 	return raw, msgType, nil
 }
 
@@ -351,6 +364,7 @@ func (s *Session) teardown(n *bgp.Notification) {
 			}
 		}
 		s.conn.Close()
+		s.met.sessionClosed()
 		if s.onClose != nil {
 			s.onClose(s)
 		}

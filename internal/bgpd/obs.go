@@ -1,0 +1,84 @@
+package bgpd
+
+import (
+	"quicksand/internal/bgp"
+	"quicksand/internal/obs"
+)
+
+// msgTypeNames maps BGP message types to metric label values; index 0
+// covers anything outside the RFC 4271 range.
+var msgTypeNames = [...]string{
+	0:                    "other",
+	bgp.TypeOpen:         "open",
+	bgp.TypeUpdate:       "update",
+	bgp.TypeNotification: "notification",
+	bgp.TypeKeepalive:    "keepalive",
+}
+
+// Metrics instruments a speaker's sessions. One Metrics is typically
+// shared by every session of a daemon. A nil *Metrics disables
+// instrumentation; the per-message cost is then a single nil check.
+type Metrics struct {
+	// Established counts successful OPEN/KEEPALIVE handshakes.
+	Established *obs.Counter
+	// Closed counts completed session teardowns.
+	Closed *obs.Counter
+
+	// in/out are pre-resolved per-message-type counters, indexed by the
+	// wire message type so the hot path does a slice index instead of a
+	// label lookup.
+	in, out [len(msgTypeNames)]*obs.Counter
+}
+
+// NewMetrics registers the bgpd_* metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Established: reg.Counter("bgpd_sessions_established_total", "BGP sessions successfully established."),
+		Closed:      reg.Counter("bgpd_sessions_closed_total", "BGP sessions torn down."),
+	}
+	in := reg.CounterVec("bgpd_messages_in_total", "BGP messages received by type.", "type")
+	out := reg.CounterVec("bgpd_messages_out_total", "BGP messages sent by type.", "type")
+	if in != nil { // nil registry: leave all handles nil
+		for t, name := range msgTypeNames {
+			m.in[t] = in.With(name)
+			m.out[t] = out.With(name)
+		}
+	}
+	return m
+}
+
+// MsgIn counts one received message of the given wire type.
+func (m *Metrics) MsgIn(msgType int) {
+	if m == nil {
+		return
+	}
+	if msgType < 0 || msgType >= len(msgTypeNames) {
+		msgType = 0
+	}
+	m.in[msgType].Inc()
+}
+
+// MsgOut counts one sent message of the given wire type.
+func (m *Metrics) MsgOut(msgType int) {
+	if m == nil {
+		return
+	}
+	if msgType < 0 || msgType >= len(msgTypeNames) {
+		msgType = 0
+	}
+	m.out[msgType].Inc()
+}
+
+// sessionEstablished and sessionClosed keep the nil checks out of the
+// session code.
+func (m *Metrics) sessionEstablished() {
+	if m != nil {
+		m.Established.Inc()
+	}
+}
+
+func (m *Metrics) sessionClosed() {
+	if m != nil {
+		m.Closed.Inc()
+	}
+}

@@ -91,6 +91,10 @@ type Config struct {
 	// ConvergenceDelay is how long after a routing event the stable path
 	// is announced; exploration paths appear within this window.
 	ConvergenceDelay time.Duration
+
+	// Metrics, when non-nil, receives run instrumentation (event, update,
+	// and recompute counts). Nil disables it at no per-event cost.
+	Metrics *Metrics
 }
 
 // DefaultConfig returns the month-scale configuration used by the paper
@@ -177,6 +181,11 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	evCount := met.eventCounters()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	end := cfg.Start.Add(cfg.Duration)
 
@@ -236,6 +245,7 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 
 	// --- Event schedule. ---
 	events := s.schedule(cfg, rng, st)
+	met.Scheduled.Add(uint64(len(events)))
 	sort.SliceStable(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
 
 	// failAffected[pairIdx] remembers which origins a failure touched so
@@ -279,11 +289,14 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 					st.Updates = append(st.Updates, UpdateEvent{
 						Time: t.Add(dt), Session: si, Prefix: p, Path: n,
 					})
+					met.Exploration.Inc()
+					met.Updates.Inc()
 				}
 			}
 			st.Updates = append(st.Updates, UpdateEvent{
 				Time: t.Add(cfg.ConvergenceDelay), Session: si, Prefix: p, Path: newPath,
 			})
+			met.Updates.Inc()
 			if newPath == nil {
 				delete(known[si], p)
 			} else {
@@ -301,6 +314,7 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 	}
 
 	recompute := func(affected []bgp.ASN) error {
+		met.Recomputes.Add(uint64(len(affected)))
 		for _, o := range affected {
 			rt, err := g.ComputeRoutes(topology.Origin{ASN: o})
 			if err != nil {
@@ -334,6 +348,7 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 	}
 
 	for _, ev := range events {
+		evCount[ev.kind].Inc()
 		switch ev.kind {
 		case evLinkDown:
 			var affected []bgp.ASN
@@ -405,6 +420,8 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 				st.Updates = append(st.Updates, UpdateEvent{
 					Time: up, Session: ev.si, Prefix: p, Path: path, Transfer: true,
 				})
+				met.Updates.Inc()
+				met.Transfers.Inc()
 				known[ev.si][p] = path
 			}
 		}

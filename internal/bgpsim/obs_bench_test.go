@@ -1,0 +1,38 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"quicksand/internal/obs"
+)
+
+// BenchmarkRunObserved measures the churn simulator with instrumentation
+// disabled (nil Metrics — the default for every batch experiment) and
+// enabled (a live registry, as under -metrics-addr). The off case is the
+// overhead proof for the disabled path; the two sub-benchmarks together
+// bound the cost of the event-loop counters.
+func BenchmarkRunObserved(b *testing.B) {
+	g, origins := testWorld(b)
+	s, err := New(g, origins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bm := range []struct {
+		name string
+		met  *Metrics
+	}{
+		{"off", nil},
+		{"on", NewMetrics(obs.NewRegistry())},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			cfg := testConfig()
+			cfg.Metrics = bm.met
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"quicksand/internal/obs"
+)
+
+func TestRunMetrics(t *testing.T) {
+	g, origins := testWorld(t)
+	sim, err := New(g, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = NewMetrics(reg)
+	st, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Metrics
+	if got := m.Updates.Value(); got != uint64(len(st.Updates)) {
+		t.Errorf("updates counter = %d, stream has %d", got, len(st.Updates))
+	}
+	if m.Scheduled.Value() == 0 || m.Recomputes.Value() == 0 {
+		t.Errorf("scheduled=%d recomputes=%d, want both > 0",
+			m.Scheduled.Value(), m.Recomputes.Value())
+	}
+	var processed uint64
+	for _, name := range eventKindNames {
+		processed += m.Events.With(name).Value()
+	}
+	if processed != m.Scheduled.Value() {
+		t.Errorf("processed %d events, scheduled %d", processed, m.Scheduled.Value())
+	}
+	if m.Events.With("link_down").Value() == 0 || m.Events.With("reset").Value() == 0 {
+		t.Error("expected link_down and reset events in the test config")
+	}
+	if m.Transfers.Value() == 0 {
+		t.Error("resets produced no table transfers")
+	}
+}
+
+// TestMetricsDoNotPerturbRun pins the determinism contract: a run with
+// metrics attached produces the identical stream as one without.
+func TestMetricsDoNotPerturbRun(t *testing.T) {
+	g, origins := testWorld(t)
+	sim, err := New(g, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sim.Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Metrics = NewMetrics(obs.NewRegistry())
+	instr, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Updates) != len(instr.Updates) {
+		t.Fatalf("update counts differ: %d vs %d", len(plain.Updates), len(instr.Updates))
+	}
+	for i := range plain.Updates {
+		a, b := plain.Updates[i], instr.Updates[i]
+		if !a.Time.Equal(b.Time) || a.Session != b.Session || a.Prefix != b.Prefix ||
+			!samePath(a.Path, b.Path) {
+			t.Fatalf("update %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestNilMetricsEventCounters(t *testing.T) {
+	var m *Metrics
+	counters := m.eventCounters()
+	for _, c := range counters {
+		c.Inc() // must no-op
+		if c.Value() != 0 {
+			t.Fatal("nil metrics counted")
+		}
+	}
+}

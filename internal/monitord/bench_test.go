@@ -127,9 +127,9 @@ func BenchmarkMonitordIngestTCP(b *testing.B) {
 	}
 	// Wait for the daemon to absorb everything sent.
 	deadline := time.Now().Add(time.Minute)
-	for d.met.updates.Load() < uint64(b.N) {
+	for d.met.updates.Value() < uint64(b.N) {
 		if time.Now().After(deadline) {
-			b.Fatalf("daemon ingested %d/%d", d.met.updates.Load(), b.N)
+			b.Fatalf("daemon ingested %d/%d", d.met.updates.Value(), b.N)
 		}
 		time.Sleep(time.Millisecond)
 	}

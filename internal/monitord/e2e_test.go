@@ -85,9 +85,9 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// Wait until every replayed update made it through the pipeline.
 	deadline := time.Now().Add(10 * time.Second)
-	for d.met.updates.Load() < wantUpdates {
+	for d.met.updates.Value() < wantUpdates {
 		if time.Now().After(deadline) {
-			t.Fatalf("daemon ingested %d/%d updates", d.met.updates.Load(), wantUpdates)
+			t.Fatalf("daemon ingested %d/%d updates", d.met.updates.Value(), wantUpdates)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -250,7 +250,7 @@ func TestCollectorReconnect(t *testing.T) {
 	if alerts[0].Kind != defense.AlertOriginChange || alerts[0].Observed != 666 {
 		t.Errorf("alert = %+v, want origin-change by AS666", alerts[0].Alert)
 	}
-	if got := d.met.sessionsAccepted.Load(); got != 2 {
+	if got := d.met.sessionsAccepted.Value(); got != 2 {
 		t.Errorf("sessions accepted = %d, want 2 (initial + reconnect)", got)
 	}
 

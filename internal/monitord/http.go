@@ -158,8 +158,8 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, healthResponse{
 		Status:         "ok",
 		UptimeSeconds:  time.Since(d.met.start).Seconds(),
-		SessionsActive: d.met.sessionsActive.Load(),
-		Updates:        d.met.updates.Load(),
+		SessionsActive: int64(d.met.sessionsActive.Value()),
+		Updates:        d.met.updates.Value(),
 		RIBPrefixes:    d.rib.Size(),
 		Alerts:         d.rng.total(),
 		QueueDepth:     depth,
@@ -167,19 +167,10 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves GET /metrics in Prometheus text exposition.
+// handleMetrics serves GET /metrics in Prometheus text exposition. The
+// daemon-state families (RIB size, queue depths, session rows) are
+// sampled by the collectors registered in registerCollectors.
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	depths := make([]int, len(d.shards))
-	for i, ch := range d.shards {
-		depths[i] = len(ch)
-	}
-	// Ring-level drop accounting: total appended minus what the ring
-	// still holds or any client could have seen is not tracked per
-	// client; expose evictions beyond capacity instead.
-	var droppedEver uint64
-	if total := d.rng.total(); total > uint64(d.cfg.AlertBuffer) {
-		droppedEver = total - uint64(d.cfg.AlertBuffer)
-	}
-	d.met.writePrometheus(w, d.rib.Size(), depths, droppedEver, d.sessionMetrics())
+	d.met.writePrometheus(w)
 }

@@ -1,32 +1,36 @@
 package monitord
 
 import (
-	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"quicksand/internal/defense"
+	"quicksand/internal/obs"
 )
 
-// metrics aggregates the daemon's counters. Everything is atomic so the
-// shard workers and session readers never contend; gauges that need
-// structure traversal (RIB size, queue depths) are sampled at exposition
-// time by the HTTP layer.
+// metrics holds the daemon's instrumentation handles on an obs.Registry.
+// Hot-path counters are inline atomic handles so the shard workers and
+// session readers never contend; values that need structure traversal
+// (RIB size, queue depths, session rows) are sampled at exposition time
+// by collectors registered in registerCollectors. The metric names and
+// label sets are the daemon's stable external interface — dashboards
+// scrape them — and must not change when the backing store does.
 type metrics struct {
+	reg   *obs.Registry
 	start time.Time
 
-	updates     atomic.Uint64 // announcements + withdrawals ingested
-	withdrawals atomic.Uint64
-	mrtRecords  atomic.Uint64
+	updates     *obs.Counter // announcements + withdrawals ingested
+	withdrawals *obs.Counter
+	mrtRecords  *obs.Counter
 
-	alerts [3]atomic.Uint64 // by defense.AlertKind
+	alerts [3]*obs.Counter // pre-resolved by defense.AlertKind
 
-	sessionsAccepted atomic.Uint64
-	sessionsActive   atomic.Int64
-	dialRetries      atomic.Uint64
+	sessionsAccepted *obs.Counter
+	sessionsActive   *obs.Gauge
+	dialRetries      *obs.Counter
 
 	// rate is a lazily updated updates/sec gauge: each exposition
 	// computes the rate over the window since the previous exposition
@@ -37,16 +41,70 @@ type metrics struct {
 	rateValue    float64
 }
 
-func newMetrics() *metrics {
+// newMetrics registers the daemon's metric families on reg; a nil reg
+// gets a private registry so a standalone daemon still serves /metrics.
+// One daemon per registry: the families are registered once.
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	now := time.Now()
-	return &metrics{start: now, rateLastAt: now}
+	m := &metrics{reg: reg, start: now, rateLastAt: now}
+	m.updates = reg.Counter("monitord_updates_ingested_total", "BGP updates ingested through the pipeline.")
+	m.withdrawals = reg.Counter("monitord_withdrawals_total", "Withdrawals among the ingested updates.")
+	m.mrtRecords = reg.Counter("monitord_mrt_records_total", "MRT archive records ingested.")
+	alerts := reg.CounterVec("monitord_alerts_total", "Monitor alerts raised, by kind.", "kind")
+	for k := defense.AlertOriginChange; k <= defense.AlertNewUpstream; k++ {
+		m.alerts[k] = alerts.With(k.String())
+	}
+	m.sessionsAccepted = reg.Counter("monitord_sessions_accepted_total", "BGP sessions ever established (inbound + outbound).")
+	m.sessionsActive = reg.Gauge("monitord_sessions_active", "BGP sessions currently established.")
+	m.dialRetries = reg.Counter("monitord_dial_retries_total", "Outbound collector dial attempts that failed and backed off.")
+	reg.GaugeFunc("monitord_updates_per_second", "Ingest rate over the last exposition window.", m.updatesPerSec)
+	reg.GaugeFunc("monitord_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(m.start).Seconds()
+	})
+	return m
+}
+
+// registerCollectors wires the exposition-time sampled families that
+// read daemon state. Called once from New after the pipeline exists.
+func (m *metrics) registerCollectors(d *Daemon) {
+	m.reg.GaugeFunc("monitord_rib_prefixes", "Prefixes with at least one live route.", func() float64 {
+		return float64(d.rib.Size())
+	})
+	m.reg.Collect("monitord_ingest_queue_depth", "Items waiting per dispatcher shard.",
+		obs.KindGauge, []string{"shard"}, func(emit obs.Emit) {
+			for i, ch := range d.shards {
+				emit([]string{strconv.Itoa(i)}, float64(len(ch)))
+			}
+		})
+	// Ring-level drop accounting: per-client reads are not tracked;
+	// expose evictions beyond capacity instead.
+	m.reg.Collect("monitord_alerts_dropped_total", "Alerts evicted from the ring before any client read them.",
+		obs.KindCounter, nil, func(emit obs.Emit) {
+			var dropped uint64
+			if total := d.rng.total(); total > uint64(d.cfg.AlertBuffer) {
+				dropped = total - uint64(d.cfg.AlertBuffer)
+			}
+			emit(nil, float64(dropped))
+		})
+	m.reg.Collect("monitord_session_updates_total", "Updates ingested per session.",
+		obs.KindCounter, []string{"session", "peer_as", "source", "state"}, func(emit obs.Emit) {
+			sessions := d.sessionMetrics()
+			sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+			for _, s := range sessions {
+				emit([]string{strconv.Itoa(s.ID), strconv.FormatUint(uint64(s.PeerAS), 10), s.Source, s.State},
+					float64(s.Updates))
+			}
+		})
 }
 
 func (m *metrics) alertCount(k defense.AlertKind) uint64 {
 	if int(k) < 0 || int(k) >= len(m.alerts) {
 		return 0
 	}
-	return m.alerts[k].Load()
+	return m.alerts[k].Value()
 }
 
 // updatesPerSec returns the ingest rate over the window since the last
@@ -56,7 +114,7 @@ func (m *metrics) updatesPerSec() float64 {
 	m.rateMu.Lock()
 	defer m.rateMu.Unlock()
 	now := time.Now()
-	cur := m.updates.Load()
+	cur := m.updates.Value()
 	window := now.Sub(m.rateLastAt)
 	if window >= 10*time.Millisecond {
 		m.rateValue = float64(cur-m.rateLastSeen) / window.Seconds()
@@ -77,41 +135,7 @@ type sessionMetric struct {
 }
 
 // writePrometheus renders the Prometheus text exposition format
-// (version 0.0.4), stdlib only.
-func (m *metrics) writePrometheus(w io.Writer, ribSize int, queueDepths []int, alertsDropped uint64, sessions []sessionMetric) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-
-	counter("monitord_updates_ingested_total", "BGP updates ingested through the pipeline.", m.updates.Load())
-	counter("monitord_withdrawals_total", "Withdrawals among the ingested updates.", m.withdrawals.Load())
-	gauge("monitord_updates_per_second", "Ingest rate over the last exposition window.", m.updatesPerSec())
-	counter("monitord_mrt_records_total", "MRT archive records ingested.", m.mrtRecords.Load())
-	gauge("monitord_rib_prefixes", "Prefixes with at least one live route.", float64(ribSize))
-
-	fmt.Fprintf(w, "# HELP monitord_alerts_total Monitor alerts raised, by kind.\n# TYPE monitord_alerts_total counter\n")
-	for k := defense.AlertOriginChange; k <= defense.AlertNewUpstream; k++ {
-		fmt.Fprintf(w, "monitord_alerts_total{kind=%q} %d\n", k.String(), m.alertCount(k))
-	}
-	counter("monitord_alerts_dropped_total", "Alerts evicted from the ring before any client read them.", alertsDropped)
-
-	fmt.Fprintf(w, "# HELP monitord_ingest_queue_depth Items waiting per dispatcher shard.\n# TYPE monitord_ingest_queue_depth gauge\n")
-	for i, d := range queueDepths {
-		fmt.Fprintf(w, "monitord_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
-	}
-
-	counter("monitord_sessions_accepted_total", "BGP sessions ever established (inbound + outbound).", m.sessionsAccepted.Load())
-	gauge("monitord_sessions_active", "BGP sessions currently established.", float64(m.sessionsActive.Load()))
-	counter("monitord_dial_retries_total", "Outbound collector dial attempts that failed and backed off.", m.dialRetries.Load())
-	gauge("monitord_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
-
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
-	fmt.Fprintf(w, "# HELP monitord_session_updates_total Updates ingested per session.\n# TYPE monitord_session_updates_total counter\n")
-	for _, s := range sessions {
-		fmt.Fprintf(w, "monitord_session_updates_total{session=\"%d\",peer_as=\"%d\",source=%q,state=%q} %d\n",
-			s.ID, s.PeerAS, s.Source, s.State, s.Updates)
-	}
+// (version 0.0.4) from the backing registry.
+func (m *metrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
 }

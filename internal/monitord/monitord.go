@@ -43,6 +43,7 @@ import (
 	"quicksand/internal/bgpd"
 	"quicksand/internal/bgpsim"
 	"quicksand/internal/defense"
+	"quicksand/internal/obs"
 )
 
 // Config parameterises the daemon.
@@ -97,6 +98,12 @@ type Config struct {
 
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
+
+	// Registry, when set, receives the daemon's monitord_* metric
+	// families so /metrics can be aggregated with other subsystems (or
+	// served by an external obs endpoint). Nil gives the daemon a
+	// private registry. One daemon per registry.
+	Registry *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -201,7 +208,7 @@ func New(cfg Config) (*Daemon, error) {
 		cfg: cfg, mon: mon,
 		rib:      newLiveRIB(cfg.Shards),
 		rng:      newRing(cfg.AlertBuffer),
-		met:      newMetrics(),
+		met:      newMetrics(cfg.Registry),
 		shards:   make([]chan item, cfg.Shards),
 		rawConns: make(map[net.Conn]struct{}),
 		sessions: make(map[int]*sessionInfo),
@@ -227,6 +234,7 @@ func New(cfg Config) (*Daemon, error) {
 		d.shardWG.Add(1)
 		go d.worker(d.shards[i])
 	}
+	d.met.registerCollectors(d)
 	if d.bgpLn != nil {
 		d.sessWG.Add(1)
 		go d.acceptLoop()
@@ -532,7 +540,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 			}
 		}
 		d.cfg.Logf("monitord: shutdown complete (%d updates ingested, %d alerts)",
-			d.met.updates.Load(), d.rng.total())
+			d.met.updates.Value(), d.rng.total())
 	})
 	return d.shutErr
 }

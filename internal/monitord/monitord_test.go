@@ -93,7 +93,7 @@ func TestDaemonIngestDetectsHijacks(t *testing.T) {
 	if d.rib.Size() != 3 {
 		t.Errorf("RIB size = %d, want 3", d.rib.Size())
 	}
-	if got := d.met.updates.Load(); got != 4 {
+	if got := d.met.updates.Value(); got != 4 {
 		t.Errorf("updates counter = %d, want 4", got)
 	}
 	if got := d.met.alertCount(defense.AlertOriginChange); got != 1 {
@@ -220,7 +220,7 @@ func TestIngestMRT(t *testing.T) {
 	if len(alerts) != 1 || alerts[0].Kind != defense.AlertOriginChange {
 		t.Fatalf("alerts = %+v, want one origin-change from the poisoned peer", alerts)
 	}
-	if got := d.met.mrtRecords.Load(); got != 3 {
+	if got := d.met.mrtRecords.Value(); got != 3 {
 		t.Errorf("mrt records counter = %d, want 3", got)
 	}
 }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Options is the shared observability flag bundle. Every binary in the
+// repository registers the same five flags so operators configure the
+// CLI, the daemon, and the generators identically.
+type Options struct {
+	MetricsAddr string
+	LogLevel    string
+	LogJSON     bool
+	TraceFile   string
+	Pprof       bool
+}
+
+// RegisterFlags installs the shared flags onto fs.
+func (o *Options) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text format) on this address")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "log level: debug, info, warn, error")
+	fs.BoolVar(&o.LogJSON, "log-json", false, "emit structured logs as JSON lines instead of text")
+	fs.StringVar(&o.TraceFile, "trace", "", "write a JSONL span trace to this file")
+	fs.BoolVar(&o.Pprof, "pprof", false, "expose net/http/pprof under /debug/pprof on the metrics server")
+}
+
+// Enabled reports whether any observability output is switched on.
+func (o *Options) Enabled() bool {
+	return o.MetricsAddr != "" || o.TraceFile != "" || o.Pprof
+}
+
+// Runtime is a built observability stack: one registry, one root
+// logger, one tracer, and (when configured) one HTTP server. Close it
+// when the process finishes.
+type Runtime struct {
+	Log   *slog.Logger
+	Reg   *Registry
+	Trace *Tracer
+	RunID string
+
+	srv       *Server
+	traceFile *os.File
+}
+
+// Start builds the runtime for component, logging to logw. A tracer is
+// created only when -trace was given; the HTTP server only when
+// -metrics-addr or -pprof was given (-pprof alone binds 127.0.0.1:0 and
+// logs the chosen address).
+func (o *Options) Start(component string, logw io.Writer) (*Runtime, error) {
+	level, err := ParseLevel(o.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{Reg: NewRegistry(), RunID: NewRunID()}
+	rt.Log = Component(NewLogger(logw, level, o.LogJSON), component).
+		With(slog.String("run", rt.RunID))
+
+	if o.TraceFile != "" {
+		f, err := os.Create(o.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+		rt.traceFile = f
+		rt.Trace = NewTracer(f, String("run", rt.RunID))
+	}
+
+	addr := o.MetricsAddr
+	if addr == "" && o.Pprof {
+		addr = "127.0.0.1:0"
+	}
+	if addr != "" {
+		srv, err := StartServer(addr, rt.Reg, o.Pprof)
+		if err != nil {
+			rt.closeTrace()
+			return nil, err
+		}
+		rt.srv = srv
+		rt.Log.Info("observability endpoint up",
+			slog.String("addr", srv.Addr()), slog.Bool("pprof", o.Pprof))
+	}
+	return rt, nil
+}
+
+// MetricsAddr returns the bound metrics address ("" when not serving).
+func (rt *Runtime) MetricsAddr() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.srv.Addr()
+}
+
+func (rt *Runtime) closeTrace() error {
+	if rt.traceFile == nil {
+		return nil
+	}
+	err := rt.Trace.Err()
+	if cerr := rt.traceFile.Close(); err == nil {
+		err = cerr
+	}
+	rt.traceFile = nil
+	return err
+}
+
+// Close stops the HTTP server and flushes the trace file, surfacing the
+// first write error. Safe on nil and idempotent.
+func (rt *Runtime) Close() error {
+	if rt == nil {
+		return nil
+	}
+	err := rt.closeTrace()
+	if rt.srv != nil {
+		if serr := rt.srv.Close(); err == nil {
+			err = serr
+		}
+		rt.srv = nil
+	}
+	return err
+}

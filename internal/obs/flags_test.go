@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegisterFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-metrics-addr", "127.0.0.1:9999",
+		"-log-level", "debug",
+		"-log-json",
+		"-trace", "out.jsonl",
+		"-pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Options{MetricsAddr: "127.0.0.1:9999", LogLevel: "debug",
+		LogJSON: true, TraceFile: "out.jsonl", Pprof: true}
+	if o != want {
+		t.Fatalf("parsed = %+v, want %+v", o, want)
+	}
+	if !o.Enabled() {
+		t.Fatal("Enabled() = false")
+	}
+	if (&Options{LogLevel: "info"}).Enabled() {
+		t.Fatal("default options report enabled")
+	}
+}
+
+func TestRuntimeFull(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	o := Options{MetricsAddr: "127.0.0.1:0", LogLevel: "info", LogJSON: true, TraceFile: trace}
+	var logs strings.Builder
+	rt, err := o.Start("quicksand", &logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MetricsAddr() == "" {
+		t.Fatal("no metrics address")
+	}
+	rt.Reg.Counter("rt_total", "x").Inc()
+	rt.Trace.Start("phase").End()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(data))), &rec); err != nil {
+		t.Fatalf("trace not JSONL: %v\n%s", err, data)
+	}
+	attrs, _ := rec["attrs"].(map[string]any)
+	if rec["name"] != "phase" || attrs["run"] != rt.RunID {
+		t.Errorf("trace record = %v (run %s)", rec, rt.RunID)
+	}
+	if !strings.Contains(logs.String(), `"component":"quicksand"`) ||
+		!strings.Contains(logs.String(), `"run":"`+rt.RunID+`"`) {
+		t.Errorf("logs missing component/run stamp:\n%s", logs.String())
+	}
+}
+
+func TestRuntimePprofOnly(t *testing.T) {
+	o := Options{LogLevel: "info", Pprof: true}
+	rt, err := o.Start("serve", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	addr := rt.MetricsAddr()
+	if addr == "" || !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("pprof-only addr = %q, want loopback", addr)
+	}
+}
+
+func TestRuntimeDisabled(t *testing.T) {
+	o := Options{LogLevel: "warn"}
+	rt, err := o.Start("bgpgen", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MetricsAddr() != "" || rt.Trace != nil {
+		t.Fatal("disabled runtime has server or tracer")
+	}
+	rt.Log.Info("suppressed at warn")
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	o := Options{LogLevel: "nope"}
+	if _, err := o.Start("x", io.Discard); err == nil {
+		t.Fatal("bad level did not fail")
+	}
+	o = Options{LogLevel: "info", TraceFile: filepath.Join(t.TempDir(), "missing", "t.jsonl")}
+	if _, err := o.Start("x", io.Discard); err == nil {
+		t.Fatal("unwritable trace path did not fail")
+	}
+	o = Options{LogLevel: "info", MetricsAddr: "256.1.1.1:bad"}
+	if _, err := o.Start("x", io.Discard); err == nil {
+		t.Fatal("bad metrics addr did not fail")
+	}
+	var rt *Runtime
+	if rt.Close() != nil || rt.MetricsAddr() != "" {
+		t.Fatal("nil runtime misbehaved")
+	}
+}

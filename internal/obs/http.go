@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the observability mux: GET /metrics renders reg in
+// Prometheus text format, and, when withPprof is set, the net/http/pprof
+// endpoints are mounted under /debug/pprof/. The pprof handlers are
+// wired explicitly so nothing leaks onto http.DefaultServeMux.
+func Handler(reg *Registry, withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running observability HTTP endpoint. Create with
+// StartServer, stop with Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	err chan error
+}
+
+// StartServer binds addr and serves Handler(reg, withPprof) until Close.
+func StartServer(addr string, reg *Registry, withPprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, withPprof)}, err: make(chan error, 1)}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.srv.SetKeepAlivesEnabled(false)
+	err := s.srv.Close()
+	select {
+	case <-s.err:
+	case <-time.After(2 * time.Second):
+	}
+	return err
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo counter.").Add(7)
+	srv, err := StartServer("127.0.0.1:0", reg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "demo_total 7\n") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	// pprof disabled: the mux must 404 it.
+	if code, _ := get(t, "http://"+srv.Addr()+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ status = %d without -pprof, want 404", code)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index status=%d body:\n%.200s", code, body)
+	}
+	if code, _ := get(t, "http://"+srv.Addr()+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", code)
+	}
+}
+
+func TestServerContentType(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+func TestServerNilSafety(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil server has an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartServerBadAddr(t *testing.T) {
+	if _, err := StartServer("256.0.0.1:bad", NewRegistry(), false); err == nil {
+		t.Fatal("bad address did not fail")
+	}
+}

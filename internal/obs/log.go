@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Structured-logging convention: every binary builds one root logger via
+// NewLogger, stamps it with its component name and a run ID, and derives
+// per-subsystem loggers with Component. Attribute names are shared
+// across the repository so log streams from the CLI, the daemon, and the
+// generators can be merged and filtered uniformly:
+//
+//	component  subsystem name ("quicksand", "serve", "monitord", "par", ...)
+//	run        short hex run ID, shared by logs and trace spans of one run
+//	experiment experiment name ("hijack", "defend", ...)
+//	trial      trial index within an experiment
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a logger writing to w at the given level, as JSON
+// lines when json is true and logfmt-style text otherwise.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Component derives a logger stamped with the shared component
+// attribute. A nil logger yields the discard logger.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l.With(slog.String("component", name))
+}
+
+// discardHandler drops every record (slog.DiscardHandler exists only
+// from Go 1.24; the module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var discardLogger = slog.New(discardHandler{})
+
+// Discard returns a logger that drops everything.
+func Discard() *slog.Logger { return discardLogger }
+
+var runCounter atomic.Uint64
+
+// NewRunID returns a short hex run identifier, unique within and across
+// processes with overwhelming probability: splitmix64 over wall clock,
+// PID, and an in-process counter.
+func NewRunID() string {
+	z := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32 ^ runCounter.Add(1)<<56
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return fmt.Sprintf("%08x", uint32(z))
+}

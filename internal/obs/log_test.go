@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"INFO ": slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel(verbose) did not fail")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf strings.Builder
+	l := Component(NewLogger(&buf, slog.LevelInfo, true), "monitord")
+	l.Debug("hidden")
+	l.Info("session up", slog.Int("peer_as", 64501))
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "session up" || rec["component"] != "monitord" || rec["peer_as"] != float64(64501) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, slog.LevelWarn, false)
+	l.Info("hidden")
+	l.Warn("queue behind", slog.Int("depth", 9))
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "queue behind") ||
+		!strings.Contains(out, "depth=9") {
+		t.Errorf("text log:\n%s", out)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	l := Component(nil, "x")
+	l.Info("dropped")
+	l = l.With(slog.String("k", "v")).WithGroup("g")
+	l.Error("also dropped")
+	if l.Enabled(nil, slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+}
+
+func TestNewRunID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRunID()
+		if len(id) != 8 {
+			t.Fatalf("run ID %q not 8 hex chars", id)
+		}
+		for _, r := range id {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				t.Fatalf("run ID %q not hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("run ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}

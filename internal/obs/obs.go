@@ -1,0 +1,31 @@
+// Package obs is the repository's observability substrate: a stdlib-only
+// metrics registry with Prometheus text-format exposition, structured
+// JSON logging on log/slog with a shared component/run-ID convention,
+// lightweight nestable span tracing (JSONL trace files plus an in-memory
+// per-phase wall-time summary), and opt-in HTTP endpoints (/metrics and
+// net/http/pprof) usable from any binary.
+//
+// The paper's §5 countermeasure is a monitoring system, and the ROADMAP
+// north star ("as fast as the hardware allows") needs numbers instead of
+// guesses: every hot path — bgpsim propagation, the internal/par
+// experiment engine, bgpd sessions, monitord ingest — emits through this
+// package so one exposition path serves the daemon and the CLI alike.
+//
+// Design rules:
+//
+//   - Near-zero cost when disabled. Every handle (*Counter, *Gauge,
+//     *Histogram, *Span) is nil-safe: methods on nil receivers no-op, so
+//     instrumentation points need no conditionals and a nil registry or
+//     tracer turns the whole layer into a handful of predictable
+//     nil-check branches.
+//   - Hot-path operations are single atomic ops. Counters and gauges
+//     are one atomic add/store; histograms are one atomic add per bucket
+//     walk. Anything that needs structure traversal (queue depths, RIB
+//     sizes, session tables) is sampled at exposition time through
+//     Collect callbacks instead of being maintained inline.
+//   - Deterministic exposition. Families are rendered in sorted name
+//     order and series in sorted label order, so output is stable across
+//     runs and pinnable with golden tests.
+//   - No dependencies. The registry, tracer, and logger are plain
+//     stdlib; nothing here may import another quicksand package.
+package obs

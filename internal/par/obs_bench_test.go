@@ -1,0 +1,44 @@
+package par
+
+import (
+	"testing"
+
+	"quicksand/internal/obs"
+)
+
+// benchWork is a small deterministic task: enough arithmetic that the
+// fan-out cost doesn't dominate, little enough that per-task observer
+// overhead would show up.
+func benchWork(i int) (uint64, error) {
+	h := uint64(i) * 0x9e3779b97f4a7c15
+	for j := 0; j < 256; j++ {
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+	}
+	return h, nil
+}
+
+// BenchmarkMapObserver measures Map fan-outs with the process observer
+// absent (one atomic load per Map — the disabled path every experiment
+// takes by default) and installed (per-task timing, histograms, and
+// counters).
+func BenchmarkMapObserver(b *testing.B) {
+	for _, bm := range []struct {
+		name string
+		ob   *Observer
+	}{
+		{"off", nil},
+		{"on", NewObserver(obs.NewRegistry())},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			SetObserver(bm.ob)
+			defer SetObserver(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Map(4, 1024, benchWork); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

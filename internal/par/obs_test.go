@@ -1,0 +1,114 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/obs"
+)
+
+func TestObserverCountsAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	ob := NewObserver(reg)
+	var mu sync.Mutex
+	var seenDone []int
+	lastTotal := 0
+	ob.Progress = func(done, total int, elapsed time.Duration) {
+		mu.Lock()
+		seenDone = append(seenDone, done)
+		lastTotal = total
+		mu.Unlock()
+	}
+	SetObserver(ob)
+	defer SetObserver(nil)
+
+	got, err := Map(4, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, instrumentation perturbed results", i, v)
+		}
+	}
+	if ob.Tasks.Value() != 10 {
+		t.Errorf("tasks = %d, want 10", ob.Tasks.Value())
+	}
+	if ob.Exec.Count() != 10 || ob.Wait.Count() != 10 {
+		t.Errorf("exec count = %d, wait count = %d, want 10 each", ob.Exec.Count(), ob.Wait.Count())
+	}
+	if len(seenDone) != 10 || lastTotal != 10 {
+		t.Errorf("progress calls = %d (total %d), want 10", len(seenDone), lastTotal)
+	}
+	// Every done value in 1..10 must appear exactly once.
+	seen := make(map[int]bool)
+	for _, d := range seenDone {
+		if d < 1 || d > 10 || seen[d] {
+			t.Fatalf("bad progress sequence %v", seenDone)
+		}
+		seen[d] = true
+	}
+}
+
+func TestObserverSequentialPath(t *testing.T) {
+	ob := NewObserver(obs.NewRegistry())
+	SetObserver(ob)
+	defer SetObserver(nil)
+	if err := ForEach(1, 3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Tasks.Value() != 3 {
+		t.Errorf("tasks = %d, want 3", ob.Tasks.Value())
+	}
+	if ob.BusyNS.Value() == 0 {
+		t.Error("busy time not accumulated")
+	}
+}
+
+func TestObserverDeterminismAcrossWorkers(t *testing.T) {
+	SetObserver(NewObserver(obs.NewRegistry()))
+	defer SetObserver(nil)
+	run := func(workers int) []int64 {
+		out, err := Map(workers, 32, func(i int) (int64, error) {
+			return TrialSeed(42, i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par8 := run(1), run(8)
+	for i := range seq {
+		if seq[i] != par8[i] {
+			t.Fatalf("trial %d: %d != %d across worker counts", i, seq[i], par8[i])
+		}
+	}
+}
+
+func TestObserverTrialSpans(t *testing.T) {
+	ob := NewObserver(obs.NewRegistry())
+	tr := obs.NewTracer(nil) // summary-only
+	ob.Trace = tr
+	SetObserver(ob)
+	defer SetObserver(nil)
+	if _, err := Map(2, 7, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summary()
+	if len(sum) != 1 || sum[0].Name != "trial" || sum[0].Count != 7 {
+		t.Fatalf("span summary = %+v, want 7 'trial' spans", sum)
+	}
+}
+
+func TestObserverNilRegistry(t *testing.T) {
+	ob := NewObserver(nil)
+	SetObserver(ob)
+	defer SetObserver(nil)
+	if err := ForEach(2, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Tasks.Value() != 0 {
+		t.Error("nil-registry observer recorded values")
+	}
+}

@@ -43,6 +43,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	if ob := observer.Load(); ob != nil {
+		fn = instrumented(ob, n, fn)
+	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n

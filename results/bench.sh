@@ -23,4 +23,11 @@ go vet ./...
 echo "== go test -race ./internal/par/ ./... =="
 go test -race "$@" ./internal/par/ ./...
 
+echo "== observability overhead smoke (baselines: results/BENCH_obs.json) =="
+# One iteration of each instrumented-vs-plain pair: catches gross
+# regressions on the disabled path. Full numbers are recorded in
+# results/BENCH_obs.json (see its description field to reproduce).
+go test -run '^$' -bench 'BenchmarkRunObserved|BenchmarkMapObserver' -benchtime 1x \
+    ./internal/bgpsim/ ./internal/par/
+
 echo "OK"

@@ -8,9 +8,12 @@
 #   4. go test ./...                  (tier-1; includes the testkit
 #      invariant/differential layers and the golden regression suite)
 #   5. go test -race ./...
-#   6. serve smoke: the loopback monitord end-to-end tests under -race
-#   7. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
-#   8. per-package coverage floors (see floor() below)
+#   6. serve smoke: the loopback monitord end-to-end tests under -race,
+#      plus the observability wiring (-metrics-addr/-pprof) smoke test
+#   7. metrics lint: every Prometheus exposition (monitord, obs, serve)
+#      through the internal/testkit linter
+#   8. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
+#   9. per-package coverage floors (see floor() below)
 #
 # Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
 # skip the fuzz smoke (e.g. on very slow machines).
@@ -45,8 +48,15 @@ echo "== serve smoke (loopback daemon end-to-end, -race) =="
 # The monitord acceptance path: boot `quicksand serve` wiring and the
 # daemon on loopback, replay an interception over a real BGP session,
 # and read alerts/metrics back over HTTP with the race detector on.
-go test -race -count=1 -run 'TestServeSmoke|TestServeEndToEnd|TestCollectorReconnect' \
+go test -race -count=1 -run 'TestServeSmoke|TestServeObsSmoke|TestServeEndToEnd|TestCollectorReconnect' \
     ./cmd/quicksand/ ./internal/monitord/
+
+echo "== metrics lint (Prometheus exposition format) =="
+# Every text exposition the repository serves — the monitord daemon's
+# /metrics, the obs registry writer, and the serve wiring — must pass
+# the shared parser/linter in internal/testkit.
+go test -count=1 -run 'TestMetricsLint|TestMetricsGolden|TestExpositionPassesLint|TestServeObsSmoke' \
+    ./internal/monitord/ ./internal/obs/ ./cmd/quicksand/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
@@ -70,6 +80,7 @@ function floor(pkg) {
     if (pkg == "quicksand/cmd/bgpgen") return 50       # main() wiring untested
     if (pkg == "quicksand/cmd/torgen") return 50       # main() wiring untested
     if (pkg == "quicksand/internal/monitord") return 80 # daemon floor (required)
+    if (pkg == "quicksand/internal/obs") return 80      # observability floor (required)
     return 80                                          # library packages
 }
 $1 == "ok" {
