@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
 	"quicksand/internal/testkit"
+	"quicksand/internal/topology"
 )
 
 // goldenNames are the steps pinned under results/golden/: the paper's
@@ -79,27 +81,63 @@ func TestGoldenSmallScale(t *testing.T) {
 	}
 }
 
-// TestGoldenWorkerInvariance re-runs the pooled studies with a different
-// worker count over the same world and stream and requires byte-equal
+// TestGoldenWorkerInvariance re-runs the pooled studies with different
+// worker counts over the same world and stream and requires byte-equal
 // output: per-trial RNG derivation, not scheduling, must decide results.
 func TestGoldenWorkerInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite builds the small world; skipped in -short")
 	}
 	a1, out := runGoldenSteps(t)
-	a2 := &app{scale: "small", seed: 1, workers: 3}
-	// Adopt a1's substrate: burn each Once, then install the shared state.
-	a2.worldOnce.Do(func() {})
-	a2.strmOnce.Do(func() {})
-	a2.world, a2.strm = a1.world, a1.strm
-	for _, s := range a2.steps() {
-		run := false
-		for _, w := range workerSteps {
-			if s.name == w {
-				run = true
+	counts := []int{3, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		a2 := &app{scale: "small", seed: 1, workers: workers}
+		// Adopt a1's substrate: burn each Once, then install the shared state.
+		a2.worldOnce.Do(func() {})
+		a2.strmOnce.Do(func() {})
+		a2.world, a2.strm = a1.world, a1.strm
+		for _, s := range a2.steps() {
+			run := false
+			for _, w := range workerSteps {
+				if s.name == w {
+					run = true
+				}
 			}
+			if !run {
+				continue
+			}
+			name, fn := s.name, s.fn
+			t.Run(fmt.Sprintf("%s-workers%d", name, workers), func(t *testing.T) {
+				var buf bytes.Buffer
+				if err := fn(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), out[name]) {
+					t.Errorf("%s output differs between workers=1 and workers=%d", name, workers)
+				}
+			})
 		}
-		if !run {
+	}
+}
+
+// TestGoldenEngineInvariance rebuilds the entire pipeline — world,
+// stream, every pinned step — under the legacy map-based route engine
+// and requires byte-identical output to the compiled-engine run. The
+// compiled engine is an allocation-lean recompilation of the same
+// decision process, so no downstream byte may move when it is disabled.
+func TestGoldenEngineInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite builds the small world; skipped in -short")
+	}
+	_, out := runGoldenSteps(t) // compiled baseline first
+	topology.SetEngine(topology.EngineLegacy)
+	defer topology.SetEngine(topology.EngineCompiled)
+	a := &app{scale: "small", seed: 1, workers: 2}
+	if _, err := a.getStream(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.steps() {
+		if !goldenNames[s.name] {
 			continue
 		}
 		name, fn := s.name, s.fn
@@ -109,7 +147,7 @@ func TestGoldenWorkerInvariance(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(buf.Bytes(), out[name]) {
-				t.Errorf("%s output differs between workers=1 and workers=3", name)
+				t.Errorf("%s output differs between compiled and legacy route engines", name)
 			}
 		})
 	}

@@ -600,7 +600,7 @@ func (w *World) RunDefenseStudy(st *bgpsim.Stream, cfg DefenseStudyConfig) (*Def
 	clientAS := stubs[rng.Intn(len(stubs))]
 	destAS := stubs[rng.Intn(len(stubs))]
 
-	static := defense.NewStaticOracle(w.Topology)
+	static := defense.NewSharedStaticOracle(w.RouteCache())
 	// Dynamics: extra ASes per origin AS, derived from the stream (the
 	// §5 per-relay publication of last month's path dynamics). Only
 	// extras seen from at least a quarter of the sessions count: those

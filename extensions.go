@@ -15,7 +15,6 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
-	"sync"
 	"time"
 
 	"quicksand/internal/analysis"
@@ -25,7 +24,6 @@ import (
 	"quicksand/internal/defense"
 	"quicksand/internal/par"
 	"quicksand/internal/stats"
-	"quicksand/internal/topology"
 	"quicksand/internal/torconsensus"
 	"quicksand/internal/torpath"
 )
@@ -139,46 +137,6 @@ func (r *RotationStudyResult) FinalFrac(lifetime int) float64 {
 	return -1
 }
 
-// routeMemo is a concurrency-safe per-destination route-table cache.
-// Route computation is deterministic, so it does not matter which worker
-// populates an entry first; same-destination callers share one compute.
-type routeMemo struct {
-	g  *topology.Graph
-	mu sync.Mutex
-	m  map[bgp.ASN]*routeMemoEntry
-}
-
-type routeMemoEntry struct {
-	once sync.Once
-	rt   topology.RouteTable
-	err  error
-}
-
-func newRouteMemo(g *topology.Graph) *routeMemo {
-	return &routeMemo{g: g, m: make(map[bgp.ASN]*routeMemoEntry)}
-}
-
-func (rm *routeMemo) pathFrom(src, dst bgp.ASN) ([]bgp.ASN, error) {
-	rm.mu.Lock()
-	e, ok := rm.m[dst]
-	if !ok {
-		e = &routeMemoEntry{}
-		rm.m[dst] = e
-	}
-	rm.mu.Unlock()
-	e.once.Do(func() {
-		e.rt, e.err = rm.g.ComputeRoutes(topology.Origin{ASN: dst})
-	})
-	if e.err != nil {
-		return nil, e.err
-	}
-	path, ok := e.rt.PathFrom(src)
-	if !ok {
-		return nil, fmt.Errorf("quicksand: client %v cannot reach guard AS %v", src, dst)
-	}
-	return path, nil
-}
-
 // RunRotationStudy simulates clients over cfg.Months months. Each client
 // keeps a guard set for the configured lifetime, then rotates. Every
 // month, every client-guard pair is exposed to the ASes on the (static)
@@ -225,7 +183,11 @@ func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult,
 		transit = w.Topology.ASNs()
 	}
 
-	routes := newRouteMemo(w.Topology)
+	// Per-destination tables come from the world's shared route cache —
+	// the same memo E5's static oracle uses. Route computation is
+	// deterministic, so it does not matter which worker populates an
+	// entry first; same-destination callers share one compute.
+	routes := w.RouteCache()
 	start := w.Consensus.ValidAfter
 
 	res := &RotationStudyResult{}
@@ -313,8 +275,8 @@ func (w *World) RunRotationStudy(cfg RotationStudyConfig) (*RotationStudyResult,
 					if !ok {
 						continue
 					}
-					path, err := routes.pathFrom(client, guardAS)
-					if err != nil {
+					path, ok, err := routes.PathFrom(client, guardAS)
+					if err != nil || !ok {
 						continue
 					}
 					exposed := false

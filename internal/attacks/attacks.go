@@ -16,7 +16,6 @@ package attacks
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"quicksand/internal/bgp"
@@ -37,8 +36,9 @@ type HijackResult struct {
 	// CaptureFraction is |Captured| over all other ASes (victim and
 	// attacker excluded).
 	CaptureFraction float64
-	// Routes is the post-attack routing table, for downstream analyses.
-	Routes topology.RouteTable
+	// Routes is the post-attack routing table, for downstream analyses
+	// (array-backed; use Route/At/PathFrom, or Table for the legacy map).
+	Routes *topology.CompiledRoutes
 }
 
 // CapturedSet returns the captured ASes as a set.
@@ -65,29 +65,36 @@ func (h *HijackResult) AnonymitySet(clients []bgp.ASN) []bgp.ASN {
 	return out
 }
 
+// capturedBy scans the table id-ascending (== ASN-ascending, so Captured
+// comes out sorted) for ASes routing toward the attacker's origination.
+func capturedBy(rt *topology.CompiledRoutes, victim, attacker bgp.ASN) (captured []bgp.ASN, fraction float64) {
+	others := 0
+	for i := 0; i < rt.Len(); i++ {
+		asn := rt.ASN(i)
+		if asn == victim || asn == attacker {
+			continue
+		}
+		others++
+		if r := rt.At(i); r.Type != topology.RouteNone && r.Origin == attacker {
+			captured = append(captured, asn)
+		}
+	}
+	if others > 0 {
+		fraction = float64(len(captured)) / float64(others)
+	}
+	return captured, fraction
+}
+
 func computeHijack(g *topology.Graph, victim, attacker topology.Origin) (*HijackResult, error) {
 	if victim.ASN == attacker.ASN {
 		return nil, fmt.Errorf("attacks: attacker and victim are the same AS %v", victim.ASN)
 	}
-	rt, err := g.ComputeRoutes(victim, attacker)
+	rt, err := g.Routes(nil, victim, attacker)
 	if err != nil {
 		return nil, err
 	}
 	res := &HijackResult{Victim: victim.ASN, Attacker: attacker.ASN, Routes: rt}
-	others := 0
-	for _, asn := range g.ASNs() {
-		if asn == victim.ASN || asn == attacker.ASN {
-			continue
-		}
-		others++
-		if r, ok := rt[asn]; ok && r.Origin == attacker.ASN {
-			res.Captured = append(res.Captured, asn)
-		}
-	}
-	sort.Slice(res.Captured, func(i, j int) bool { return res.Captured[i] < res.Captured[j] })
-	if others > 0 {
-		res.CaptureFraction = float64(len(res.Captured)) / float64(others)
-	}
+	res.Captured, res.CaptureFraction = capturedBy(rt, victim.ASN, attacker.ASN)
 	return res, nil
 }
 
@@ -110,25 +117,12 @@ func MoreSpecificHijack(g *topology.Graph, victim, attacker bgp.ASN) (*HijackRes
 	}
 	// Only the attacker originates the more-specific; the victim's
 	// covering announcement does not compete under LPM.
-	rt, err := g.ComputeRoutes(topology.Origin{ASN: attacker})
+	rt, err := g.Routes(nil, topology.Origin{ASN: attacker})
 	if err != nil {
 		return nil, err
 	}
 	res := &HijackResult{Victim: victim, Attacker: attacker, Routes: rt}
-	others := 0
-	for _, asn := range g.ASNs() {
-		if asn == victim || asn == attacker {
-			continue
-		}
-		others++
-		if r, ok := rt[asn]; ok && r.Origin == attacker {
-			res.Captured = append(res.Captured, asn)
-		}
-	}
-	sort.Slice(res.Captured, func(i, j int) bool { return res.Captured[i] < res.Captured[j] })
-	if others > 0 {
-		res.CaptureFraction = float64(len(res.Captured)) / float64(others)
-	}
+	res.Captured, res.CaptureFraction = capturedBy(rt, victim, attacker)
 	return res, nil
 }
 
@@ -156,7 +150,7 @@ func Intercept(g *topology.Graph, victim, attacker bgp.ASN) (*InterceptionResult
 		return nil, fmt.Errorf("attacks: attacker and victim are the same AS %v", victim)
 	}
 	// Pre-attack path from attacker to victim.
-	pre, err := g.ComputeRoutes(topology.Origin{ASN: victim})
+	pre, err := g.Routes(nil, topology.Origin{ASN: victim})
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +207,7 @@ func ScopedHijack(g *topology.Graph, victim, attacker bgp.ASN, announceTo []bgp.
 		}
 		only[n] = true
 	}
-	pre, err := g.ComputeRoutes(topology.Origin{ASN: victim})
+	pre, err := g.Routes(nil, topology.Origin{ASN: victim})
 	if err != nil {
 		return nil, err
 	}
@@ -224,12 +218,12 @@ func ScopedHijack(g *topology.Graph, victim, attacker bgp.ASN, announceTo []bgp.
 		return nil, err
 	}
 	out := &ScopedHijackResult{HijackResult: *res}
-	for _, asn := range g.ASNs() {
-		if asn == attacker {
+	for i := 0; i < pre.Len(); i++ {
+		if pre.ASN(i) == attacker {
 			continue
 		}
-		a, aok := pre[asn]
-		b, bok := res.Routes[asn]
+		a, b := pre.At(i), res.Routes.At(i)
+		aok, bok := a.Type != topology.RouteNone, b.Type != topology.RouteNone
 		if aok != bok || (aok && (a.Origin != b.Origin || a.NextHop != b.NextHop)) {
 			out.Footprint++
 		}
@@ -304,7 +298,7 @@ type ISPAdversaryResult struct {
 // against the destination's prefix and we check whether the exit's
 // traffic toward the destination now crosses it.
 func ISPAdversary(g *topology.Graph, client, guardAS, exitAS, destAS bgp.ASN) (*ISPAdversaryResult, error) {
-	toGuard, err := g.ComputeRoutes(topology.Origin{ASN: guardAS})
+	toGuard, err := g.Routes(nil, topology.Origin{ASN: guardAS})
 	if err != nil {
 		return nil, err
 	}

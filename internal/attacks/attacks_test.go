@@ -34,13 +34,13 @@ func TestHijackCapturesSubstantialFraction(t *testing.T) {
 		t.Fatalf("capture fraction = %v, want a substantial partial split", res.CaptureFraction)
 	}
 	// The victim always keeps its own route.
-	if r := res.Routes[victim]; r.Type != topology.RouteOrigin {
+	if r, _ := res.Routes.Route(victim); r.Type != topology.RouteOrigin {
 		t.Fatalf("victim route = %+v", r)
 	}
 	// Captured ASes actually route to the attacker.
 	for _, a := range res.Captured {
-		if res.Routes[a].Origin != attacker {
-			t.Fatalf("captured AS %v routes to %v", a, res.Routes[a].Origin)
+		if r, _ := res.Routes.Route(a); r.Origin != attacker {
+			t.Fatalf("captured AS %v routes to %v", a, r.Origin)
 		}
 	}
 }
@@ -246,7 +246,7 @@ func TestHijackWithROV(t *testing.T) {
 		if asn == attacker {
 			continue
 		}
-		r, ok := full.Routes[asn]
+		r, ok := full.Routes.Route(asn)
 		if !ok || r.Origin != victim {
 			t.Fatalf("%v lost its route to the victim under ROV", asn)
 		}

@@ -29,25 +29,13 @@ func HijackWithROV(g *topology.Graph, victim, attacker bgp.ASN, validators map[b
 	if victim == attacker {
 		return nil, errSameAS(victim)
 	}
-	rt, err := g.ComputeRoutesFiltered(ROVFilter(victim, validators),
+	rt, err := g.Routes(ROVFilter(victim, validators),
 		topology.Origin{ASN: victim}, topology.Origin{ASN: attacker})
 	if err != nil {
 		return nil, err
 	}
 	res := &HijackResult{Victim: victim, Attacker: attacker, Routes: rt}
-	others := 0
-	for _, asn := range g.ASNs() {
-		if asn == victim || asn == attacker {
-			continue
-		}
-		others++
-		if r, ok := rt[asn]; ok && r.Origin == attacker {
-			res.Captured = append(res.Captured, asn)
-		}
-	}
-	if others > 0 {
-		res.CaptureFraction = float64(len(res.Captured)) / float64(others)
-	}
+	res.Captured, res.CaptureFraction = capturedBy(rt, victim, attacker)
 	return res, nil
 }
 

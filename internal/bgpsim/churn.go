@@ -95,6 +95,15 @@ type Config struct {
 	// Metrics, when non-nil, receives run instrumentation (event, update,
 	// and recompute counts). Nil disables it at no per-event cost.
 	Metrics *Metrics
+
+	// TransferCheck, when non-nil, is called after each completed reset
+	// table transfer with the session index, the re-establishment time,
+	// the session's announced table (known), and the live table
+	// restricted to the session's visibility. Both maps are read-only. A
+	// non-nil return aborts the run. It is a verification hook backing
+	// internal/testkit's reset invariant — after a transfer, known must
+	// equal live.
+	TransferCheck func(si int, up time.Time, known, live map[netip.Prefix][]bgp.ASN) error
 }
 
 // DefaultConfig returns the month-scale configuration used by the paper
@@ -151,6 +160,11 @@ func (c *Config) validate() error {
 	if c.ConvergenceDelay <= 0 {
 		return fmt.Errorf("bgpsim: non-positive convergence delay")
 	}
+	if c.ExplorationProb > 0 && c.ConvergenceDelay < 2 {
+		// The exploration jitter is drawn from [0, ConvergenceDelay/2);
+		// a sub-2ns delay makes that interval empty.
+		return fmt.Errorf("bgpsim: ConvergenceDelay %v too small for exploration jitter", c.ConvergenceDelay)
+	}
 	return nil
 }
 
@@ -174,6 +188,10 @@ const (
 	evReset
 	evHijackStart
 	evHijackEnd
+	// evTransfer is the internal companion of evReset: the post-reset
+	// table transfer, scheduled at the session's re-establishment time so
+	// it reads the tables as they are *then*, not at failure time.
+	evTransfer
 )
 
 // Run executes the simulation and returns the observed stream.
@@ -220,10 +238,14 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 	}
 
 	// --- Initial stable state on the pristine topology. ---
+	// All tables go through the compiled route engine with one shared
+	// scratch and per-origin result reuse: the event loop is
+	// single-goroutine, so recomputes allocate almost nothing.
 	g := s.graph.Clone()
-	tables := make(map[bgp.ASN]topology.RouteTable)
+	scratch := &topology.Scratch{}
+	tables := make(map[bgp.ASN]*topology.CompiledRoutes)
 	for _, o := range s.originASNs() {
-		rt, err := g.ComputeRoutes(topology.Origin{ASN: o})
+		rt, err := g.RoutesInto(nil, scratch, nil, topology.Origin{ASN: o})
 		if err != nil {
 			return nil, err
 		}
@@ -258,9 +280,11 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 
 	// hijacked overrides the per-origin table for prefixes under an
 	// active injected hijack (the victim and the attacker both originate
-	// the prefix there).
-	hijacked := make(map[netip.Prefix]topology.RouteTable)
-	tableFor := func(p netip.Prefix) topology.RouteTable {
+	// the prefix there); hijackAtk remembers each attack's attacker so
+	// the table can be recomputed when churn shifts routing mid-attack.
+	hijacked := make(map[netip.Prefix]*topology.CompiledRoutes)
+	hijackAtk := make(map[netip.Prefix]bgp.ASN)
+	tableFor := func(p netip.Prefix) *topology.CompiledRoutes {
 		if rt, ok := hijacked[p]; ok {
 			return rt
 		}
@@ -285,7 +309,13 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 			if newPath != nil && rng.Float64() < cfg.ExplorationProb {
 				n := s.explorationPath(g, rt, sess.PeerAS, rng)
 				if n != nil && !samePath(n, newPath) {
-					dt := time.Duration(rng.Int63n(int64(cfg.ConvergenceDelay) / 2))
+					// Int63n panics on a zero bound; validate rejects the
+					// degenerate delay when exploration is on, and this
+					// guard keeps a 1ns delay safe regardless.
+					var dt time.Duration
+					if half := int64(cfg.ConvergenceDelay) / 2; half > 0 {
+						dt = time.Duration(rng.Int63n(half))
+					}
 					st.Updates = append(st.Updates, UpdateEvent{
 						Time: t.Add(dt), Session: si, Prefix: p, Path: n,
 					})
@@ -316,11 +346,39 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 	recompute := func(affected []bgp.ASN) error {
 		met.Recomputes.Add(uint64(len(affected)))
 		for _, o := range affected {
-			rt, err := g.ComputeRoutes(topology.Origin{ASN: o})
+			rt, err := g.RoutesInto(tables[o], scratch, nil, topology.Origin{ASN: o})
 			if err != nil {
 				return err
 			}
 			tables[o] = rt
+		}
+		return nil
+	}
+
+	// refreshHijacks recomputes the two-origin tables of every active
+	// hijack after a topology event and emits the resulting path changes.
+	// Without this the hijack tables keep pre-failure paths for the whole
+	// attack window. Prefixes are walked in address order so the stream
+	// stays deterministic, and emitPrefixChanges draws randomness only on
+	// actual path changes, so unrelated events leave the stream untouched.
+	refreshHijacks := func(t time.Time) error {
+		if len(hijacked) == 0 {
+			return nil
+		}
+		ps := make([]netip.Prefix, 0, len(hijacked))
+		for p := range hijacked {
+			ps = append(ps, p)
+		}
+		sortPrefixes(ps)
+		for _, p := range ps {
+			rt, err := g.RoutesInto(hijacked[p], scratch, nil,
+				topology.Origin{ASN: s.origins[p]}, topology.Origin{ASN: hijackAtk[p]})
+			if err != nil {
+				return err
+			}
+			hijacked[p] = rt
+			met.Recomputes.Inc()
+			emitPrefixChanges(t, p)
 		}
 		return nil
 	}
@@ -354,11 +412,11 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 			var affected []bgp.ASN
 			for _, o := range originList {
 				rt := tables[o]
-				if ra, ok := rt[ev.a]; ok && ra.NextHop == ev.b && ra.Type != topology.RouteOrigin && observable(ev.a) {
+				if ra, ok := rt.Route(ev.a); ok && ra.NextHop == ev.b && ra.Type != topology.RouteOrigin && observable(ev.a) {
 					affected = append(affected, o)
 					continue
 				}
-				if rb, ok := rt[ev.b]; ok && rb.NextHop == ev.a && rb.Type != topology.RouteOrigin && observable(ev.b) {
+				if rb, ok := rt.Route(ev.b); ok && rb.NextHop == ev.a && rb.Type != topology.RouteOrigin && observable(ev.b) {
 					affected = append(affected, o)
 				}
 			}
@@ -368,6 +426,9 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 				return nil, err
 			}
 			emitChanges(ev.at, affected)
+			if err := refreshHijacks(ev.at); err != nil {
+				return nil, err
+			}
 		case evLinkUp:
 			if err := restoreLink(g, ev); err != nil {
 				return nil, err
@@ -377,6 +438,9 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 				return nil, err
 			}
 			emitChanges(ev.at, affected)
+			if err := refreshHijacks(ev.at); err != nil {
+				return nil, err
+			}
 		case evPolicy:
 			if _, linked := g.RelBetween(ev.a, ev.b); linked {
 				g.RemoveLink(ev.a, ev.b)
@@ -387,14 +451,18 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 				return nil, err
 			}
 			emitChanges(ev.at, originList)
+			if err := refreshHijacks(ev.at); err != nil {
+				return nil, err
+			}
 		case evHijackStart:
 			victim := s.origins[ev.pfx]
-			rt, err := g.ComputeRoutes(
+			rt, err := g.RoutesInto(hijacked[ev.pfx], scratch, nil,
 				topology.Origin{ASN: victim}, topology.Origin{ASN: ev.b})
 			if err != nil {
 				return nil, err
 			}
 			hijacked[ev.pfx] = rt
+			hijackAtk[ev.pfx] = ev.b
 			st.Attacks = append(st.Attacks, AttackEvent{
 				Prefix: ev.pfx, Victim: victim, Attacker: ev.b,
 				Start: ev.at, End: ev.at.Add(ev.up),
@@ -402,27 +470,45 @@ func (s *Sim) Run(cfg Config) (*Stream, error) {
 			emitPrefixChanges(ev.at, ev.pfx)
 		case evHijackEnd:
 			delete(hijacked, ev.pfx)
+			delete(hijackAtk, ev.pfx)
 			emitPrefixChanges(ev.at, ev.pfx)
 		case evReset:
 			up := ev.at.Add(ev.up)
 			st.Resets = append(st.Resets, ResetEvent{Session: ev.si, Down: ev.at, Up: up})
 			sessionUpAt[ev.si] = up
+		case evTransfer:
 			// Table transfer on re-establishment: the peer re-announces
-			// its full current table.
+			// its full table. The event fires at the up instant, so the
+			// tables are read as they are *then* — routing changes during
+			// the outage are re-announced, not lost. (They used to be read
+			// at down time, silently dropping outage-window changes.)
+			if ev.at.Before(sessionUpAt[ev.si]) {
+				break // a longer overlapping reset still holds the session down
+			}
 			sess := &st.Sessions[ev.si]
 			for _, p := range sess.VisiblePrefixes() {
-				rt := tableFor(p)
-				path, ok := rt.PathFrom(sess.PeerAS)
+				path, ok := tableFor(p).PathFrom(sess.PeerAS)
 				if !ok {
 					delete(known[ev.si], p)
 					continue
 				}
 				st.Updates = append(st.Updates, UpdateEvent{
-					Time: up, Session: ev.si, Prefix: p, Path: path, Transfer: true,
+					Time: ev.at, Session: ev.si, Prefix: p, Path: path, Transfer: true,
 				})
 				met.Updates.Inc()
 				met.Transfers.Inc()
 				known[ev.si][p] = path
+			}
+			if cfg.TransferCheck != nil {
+				live := make(map[netip.Prefix][]bgp.ASN)
+				for _, p := range sess.VisiblePrefixes() {
+					if path, ok := tableFor(p).PathFrom(sess.PeerAS); ok {
+						live[p] = path
+					}
+				}
+				if err := cfg.TransferCheck(ev.si, ev.at, known[ev.si], live); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -451,7 +537,7 @@ func restoreLink(g *topology.Graph, ev event) error {
 // explorationPath builds a plausible transient path from vantage v: v
 // temporarily routes through a non-best neighbor n, yielding v + n's path.
 // Returns nil when no loop-free policy-compliant alternate exists.
-func (s *Sim) explorationPath(g *topology.Graph, rt topology.RouteTable, v bgp.ASN, rng *rand.Rand) []bgp.ASN {
+func (s *Sim) explorationPath(g *topology.Graph, rt *topology.CompiledRoutes, v bgp.ASN, rng *rand.Rand) []bgp.ASN {
 	neighbors := g.Neighbors(v)
 	if len(neighbors) == 0 {
 		return nil
@@ -459,7 +545,7 @@ func (s *Sim) explorationPath(g *topology.Graph, rt topology.RouteTable, v bgp.A
 	start := rng.Intn(len(neighbors))
 	for k := 0; k < len(neighbors); k++ {
 		n := neighbors[(start+k)%len(neighbors)]
-		best, ok := rt[v]
+		best, ok := rt.Route(v)
 		if ok && best.NextHop == n {
 			continue
 		}
@@ -468,7 +554,7 @@ func (s *Sim) explorationPath(g *topology.Graph, rt topology.RouteTable, v bgp.A
 		// or provider are only exported to n's customers — v hears
 		// those only when n is v's provider. Without this check the
 		// transient path can contain a valley no real update would.
-		nr, ok := rt[n]
+		nr, ok := rt.Route(n)
 		if !ok {
 			continue
 		}
@@ -666,13 +752,17 @@ func (s *Sim) schedule(cfg Config, rng *rand.Rand, st *Stream) []event {
 		}
 	}
 
-	// Session resets (roughly Poisson per session).
+	// Session resets (roughly Poisson per session). Each reset schedules
+	// its table transfer as a separate event at the re-establishment
+	// time, so the transfer reads the tables of that instant.
 	for si := range st.Sessions {
 		n := poisson(rng, cfg.ResetsPerSessionMean)
 		for i := 0; i < n; i++ {
 			at := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.Duration))))
 			down := 30*time.Second + time.Duration(rng.Int63n(int64(90*time.Second)))
-			events = append(events, event{at: at, kind: evReset, si: si, up: down})
+			events = append(events,
+				event{at: at, kind: evReset, si: si, up: down},
+				event{at: at.Add(down), kind: evTransfer, si: si})
 		}
 	}
 	return events

@@ -31,15 +31,15 @@ func TestExplorationPathRespectsExportRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := g.ComputeRoutes(topology.Origin{ASN: 5})
+	rt, err := g.Routes(nil, topology.Origin{ASN: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Sanity: AS3 holds a provider route via 2, AS1 a peer route via 2.
-	if r := rt[3]; r.Type != topology.RouteProvider || r.NextHop != 2 {
+	if r, _ := rt.Route(3); r.Type != topology.RouteProvider || r.NextHop != 2 {
 		t.Fatalf("AS3 route = %+v, want provider via AS2", r)
 	}
-	if r := rt[1]; r.Type != topology.RoutePeer || r.NextHop != 2 {
+	if r, _ := rt.Route(1); r.Type != topology.RoutePeer || r.NextHop != 2 {
 		t.Fatalf("AS1 route = %+v, want peer via AS2", r)
 	}
 

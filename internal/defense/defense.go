@@ -16,7 +16,6 @@ package defense
 import (
 	"fmt"
 	"net/netip"
-	"sync"
 	"time"
 
 	"quicksand/internal/bgp"
@@ -36,41 +35,27 @@ type PathOracle interface {
 }
 
 // StaticOracle computes segment ASes from current best paths in a
-// topology, both directions included. Route tables are cached per
-// destination; the cache is safe for concurrent use, so one oracle can
-// serve every worker of a parallel study.
+// topology, both directions included. Route tables come from a shared
+// topology.RouteCache, safe for concurrent use, so one oracle can serve
+// every worker of a parallel study — and several oracles (or other
+// per-destination consumers) can share one cache.
 type StaticOracle struct {
-	Graph *topology.Graph
-
-	mu    sync.Mutex
-	cache map[bgp.ASN]*tableEntry
+	cache *topology.RouteCache
 }
 
-type tableEntry struct {
-	once sync.Once
-	rt   topology.RouteTable
-	err  error
-}
-
-// NewStaticOracle returns a StaticOracle over g.
+// NewStaticOracle returns a StaticOracle over g with a private cache.
 func NewStaticOracle(g *topology.Graph) *StaticOracle {
-	return &StaticOracle{Graph: g, cache: make(map[bgp.ASN]*tableEntry)}
+	return &StaticOracle{cache: topology.NewRouteCache(g)}
 }
 
-func (o *StaticOracle) table(dst bgp.ASN) (topology.RouteTable, error) {
-	o.mu.Lock()
-	e, ok := o.cache[dst]
-	if !ok {
-		e = &tableEntry{}
-		o.cache[dst] = e
-	}
-	o.mu.Unlock()
-	// Compute outside the map lock — concurrent lookups of other
-	// destinations proceed; same-destination callers share one compute.
-	e.once.Do(func() {
-		e.rt, e.err = o.Graph.ComputeRoutes(topology.Origin{ASN: dst})
-	})
-	return e.rt, e.err
+// NewSharedStaticOracle returns a StaticOracle backed by an existing
+// route cache, sharing its per-destination tables with other consumers.
+func NewSharedStaticOracle(rc *topology.RouteCache) *StaticOracle {
+	return &StaticOracle{cache: rc}
+}
+
+func (o *StaticOracle) table(dst bgp.ASN) (*topology.CompiledRoutes, error) {
+	return o.cache.Routes(dst)
 }
 
 // SegmentASes returns the union of ASes on the a→b and b→a best paths.
@@ -223,8 +208,8 @@ func PickGuardsPreferShort(sel *torpath.Selector, oracle *StaticOracle, relayAS 
 		if err != nil {
 			return nil, err
 		}
-		r, ok := rt[clientAS]
-		if !ok {
+		r, ok := rt.Route(clientAS)
+		if !ok || r.Type == topology.RouteNone {
 			continue
 		}
 		lengths[g.Identity] = r.PathLen

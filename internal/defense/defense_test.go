@@ -201,7 +201,8 @@ func TestPickGuardsPreferShort(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rt[clientAS].PathLen
+		r, _ := rt.Route(clientAS)
+		return r.PathLen
 	}
 	shortSum := 0
 	for _, g := range gs.Guards {

@@ -1,0 +1,208 @@
+package testkit
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/topology"
+)
+
+// TestCompiledEngineAfterMutations exercises the compiled engine's delta
+// recompilation path differentially: after each graph mutation the
+// cached snapshot is stale and Compiled() rebuilds only the dirty
+// adjacency rows — the rebuilt snapshot must still agree with the naive
+// oracle (and the legacy engine) on every route class of interest.
+func TestCompiledEngineAfterMutations(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g, err := RandomTopology(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := Rand(seed, 24)
+		asns := g.ASNs()
+		victim := asns[rng.Intn(len(asns))]
+		attacker := asns[rng.Intn(len(asns))]
+		check := func(stage string) {
+			t.Helper()
+			if err := CheckRoutesAgainstOracle(g, nil, topology.Origin{ASN: victim}); err != nil {
+				t.Fatalf("seed %d after %s: %v", seed, stage, err)
+			}
+			if attacker == victim {
+				return
+			}
+			err := CheckRoutesAgainstOracle(g, nil,
+				topology.Origin{ASN: victim}, topology.Origin{ASN: attacker})
+			if err != nil {
+				t.Fatalf("seed %d after %s (hijack): %v", seed, stage, err)
+			}
+			neigh := g.Neighbors(victim)
+			if len(neigh) < 2 {
+				return
+			}
+			only := topology.Origin{ASN: victim, AnnounceOnly: map[bgp.ASN]bool{neigh[0]: true}}
+			if err := CheckRoutesAgainstOracle(g, nil, only); err != nil {
+				t.Fatalf("seed %d after %s (announce-only): %v", seed, stage, err)
+			}
+			filter := func(at, origin bgp.ASN) bool { return !(at == neigh[1] && origin == attacker) }
+			err = CheckRoutesAgainstOracle(g, filter,
+				topology.Origin{ASN: victim}, topology.Origin{ASN: attacker})
+			if err != nil {
+				t.Fatalf("seed %d after %s (ROV): %v", seed, stage, err)
+			}
+		}
+		check("build")
+
+		// Remove a link touching a random transit AS, recheck, restore.
+		var a, b bgp.ASN
+		for _, cand := range asns {
+			if n := g.Neighbors(cand); len(n) >= 2 && cand != victim && cand != attacker {
+				a, b = cand, n[rng.Intn(len(n))]
+				break
+			}
+		}
+		if a != 0 {
+			rel, _ := g.RelBetween(a, b)
+			g.RemoveLink(a, b)
+			check("RemoveLink")
+			if rel == topology.RelPeer {
+				err = g.AddPeering(a, b)
+			} else if rel == topology.RelCustomer {
+				err = g.AddLink(b, a) // a's customer b: provider first
+			} else {
+				err = g.AddLink(a, b)
+			}
+			if err != nil {
+				t.Fatalf("seed %d: restore %v-%v: %v", seed, a, b, err)
+			}
+			check("restore")
+		}
+
+		// A brand-new AS forces the full-compile path.
+		fresh := bgp.ASN(900000 + seed)
+		if err := g.AddLink(asns[0], fresh); err != nil {
+			t.Fatalf("seed %d: AddLink new AS: %v", seed, err)
+		}
+		check("AddAS")
+	}
+}
+
+// TestRouteCacheConcurrentDeterminism hammers one shared RouteCache from
+// many goroutines (run under -race in CI): every caller must observe the
+// identical *CompiledRoutes per destination, and a graph mutation must
+// flush to a fresh — but again shared — table.
+func TestRouteCacheConcurrentDeterminism(t *testing.T) {
+	g, err := RandomTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asns := g.ASNs()
+	dsts := asns[:8]
+	rc := topology.NewRouteCache(g)
+
+	fetch := func() map[bgp.ASN]*topology.CompiledRoutes {
+		out := make(map[bgp.ASN]*topology.CompiledRoutes, len(dsts))
+		for _, d := range dsts {
+			rt, err := rc.Routes(d)
+			if err != nil {
+				t.Errorf("Routes(%v): %v", d, err)
+				return nil
+			}
+			out[d] = rt
+		}
+		return out
+	}
+
+	const workers = 8
+	results := make([]map[bgp.ASN]*topology.CompiledRoutes, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = fetch()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for _, d := range dsts {
+			if results[w][d] != results[0][d] {
+				t.Fatalf("worker %d got a different table for %v", w, d)
+			}
+		}
+	}
+
+	// Mutate: the next fetch must see fresh tables, shared again.
+	hub := asns[len(asns)/2]
+	if n := g.Neighbors(hub); len(n) > 0 {
+		g.RemoveLink(hub, n[0])
+	}
+	after := fetch()
+	for _, d := range dsts {
+		if after[d] == results[0][d] {
+			t.Fatalf("table for %v not flushed after mutation", d)
+		}
+	}
+	again := fetch()
+	for _, d := range dsts {
+		if again[d] != after[d] {
+			t.Fatalf("post-mutation table for %v not shared", d)
+		}
+	}
+}
+
+// TestResetTransferInvariant wires CheckResetTransfer into random churn
+// runs with frequent session resets: every completed table transfer must
+// re-announce exactly the live table at the re-establishment instant.
+// Before the transfer event was split out of evReset, the announced
+// table was read at failure time, so routing changes during the outage
+// were silently dropped — this caught it.
+func TestResetTransferInvariant(t *testing.T) {
+	transfers := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		w, err := RandomWorld(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := RandomChurnConfig(seed)
+		cfg.ResetsPerSessionMean = 2.0
+		cfg.TransferCheck = func(si int, up time.Time, known, live map[netip.Prefix][]bgp.ASN) error {
+			transfers++
+			return CheckResetTransfer(si, up, known, live)
+		}
+		if _, err := w.SimulateMonth(cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if transfers == 0 {
+		t.Fatal("no table transfers exercised — invariant never checked")
+	}
+	t.Logf("checked %d table transfers", transfers)
+}
+
+// TestExplorationJitterDegenerateDelay pins the ConvergenceDelay guard:
+// a 1ns delay with exploration enabled is rejected up front by validate
+// (the jitter interval [0, delay/2) is empty — drawing from it used to
+// panic in rand.Int63n mid-run), while the same delay with exploration
+// off must simulate cleanly.
+func TestExplorationJitterDegenerateDelay(t *testing.T) {
+	w, err := RandomWorld(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RandomChurnConfig(5)
+	cfg.ConvergenceDelay = time.Nanosecond
+	cfg.ExplorationProb = 0.9
+	if _, err := w.SimulateMonth(cfg); err == nil {
+		t.Fatal("1ns ConvergenceDelay with exploration on was accepted")
+	} else if !strings.Contains(err.Error(), "too small for exploration jitter") {
+		t.Fatalf("wrong validation error: %v", err)
+	}
+	cfg.ExplorationProb = 0
+	if _, err := w.SimulateMonth(cfg); err != nil {
+		t.Fatalf("1ns ConvergenceDelay without exploration failed: %v", err)
+	}
+}

@@ -96,6 +96,39 @@ func CheckStreamPolicy(g *topology.Graph, st *bgpsim.Stream, origins map[netip.P
 	return nil
 }
 
+// CheckResetTransfer verifies the post-reset table-transfer invariant:
+// once a session's full-table re-announcement completes, the session's
+// known table must equal the live routing state restricted to the
+// session's visibility — no stale paths from before the outage, no
+// prefixes silently dropped. It has the bgpsim.Config.TransferCheck
+// signature, so tests wire it straight into a churn run.
+func CheckResetTransfer(si int, up time.Time, known, live map[netip.Prefix][]bgp.ASN) error {
+	for p, kp := range known {
+		lp, ok := live[p]
+		if !ok {
+			return fmt.Errorf("session %d transfer at %v: %v announced %v, live table has no path",
+				si, up.Format(time.RFC3339), p, kp)
+		}
+		if len(kp) != len(lp) {
+			return fmt.Errorf("session %d transfer at %v: %v announced %v, live path is %v",
+				si, up.Format(time.RFC3339), p, kp, lp)
+		}
+		for i := range kp {
+			if kp[i] != lp[i] {
+				return fmt.Errorf("session %d transfer at %v: %v announced %v, live path is %v",
+					si, up.Format(time.RFC3339), p, kp, lp)
+			}
+		}
+	}
+	for p := range live {
+		if _, ok := known[p]; !ok {
+			return fmt.Errorf("session %d transfer at %v: live prefix %v missing from announced table",
+				si, up.Format(time.RFC3339), p)
+		}
+	}
+	return nil
+}
+
 // CheckLPM cross-checks the iptrie against a brute-force linear oracle:
 // for every probe address, LongestMatch must return the most specific
 // containing prefix and Matches must return exactly the containing

@@ -228,18 +228,29 @@ func DiffRoutes(got, want topology.RouteTable) []RouteDiff {
 }
 
 // CheckRoutesAgainstOracle computes routes for the given origins with
-// both the production engine and the naive oracle and fails on any
-// disagreement, reporting the first few diffs.
+// both production engines — the legacy map-based ComputeRoutesFiltered
+// and the compiled array-backed engine — and the naive oracle, failing
+// on any disagreement, reporting the first few diffs.
 func CheckRoutesAgainstOracle(g *topology.Graph, filter topology.ImportFilter, origins ...topology.Origin) error {
-	got, err := g.ComputeRoutesFiltered(filter, origins...)
-	if err != nil {
-		return fmt.Errorf("ComputeRoutes: %w", err)
-	}
 	want, err := NaiveRoutes(g, filter, origins...)
 	if err != nil {
 		return fmt.Errorf("oracle: %w", err)
 	}
-	diffs := DiffRoutes(got, want)
+	legacy, err := g.ComputeRoutesFiltered(filter, origins...)
+	if err != nil {
+		return fmt.Errorf("ComputeRoutes: %w", err)
+	}
+	if err := reportDiffs("legacy", DiffRoutes(legacy, want)); err != nil {
+		return err
+	}
+	compiled, err := g.Compiled().Routes(nil, filter, origins...)
+	if err != nil {
+		return fmt.Errorf("compiled Routes: %w", err)
+	}
+	return reportDiffs("compiled", DiffRoutes(compiled.Table(), want))
+}
+
+func reportDiffs(engine string, diffs []RouteDiff) error {
 	if len(diffs) == 0 {
 		return nil
 	}
@@ -251,5 +262,5 @@ func CheckRoutesAgainstOracle(g *topology.Graph, filter topology.ImportFilter, o
 	for _, d := range show {
 		msg += "\n  " + d.String()
 	}
-	return fmt.Errorf("route tables disagree at %d ASes:%s", len(diffs), msg)
+	return fmt.Errorf("%s route tables disagree with oracle at %d ASes:%s", engine, len(diffs), msg)
 }

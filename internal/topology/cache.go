@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"sync"
+
+	"quicksand/internal/bgp"
+)
+
+// RouteCache is a concurrency-safe per-destination route-table cache
+// over one graph, versioned against it: any graph mutation invalidates
+// every entry on the next lookup. Route computation is deterministic, so
+// it does not matter which worker populates an entry first;
+// same-destination callers share one compute via a per-entry Once. It
+// unifies the memos previously private to defense.StaticOracle and the
+// rotation study.
+type RouteCache struct {
+	g *Graph
+
+	mu      sync.Mutex
+	version uint64
+	entries map[bgp.ASN]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	cr   *CompiledRoutes
+	err  error
+}
+
+// NewRouteCache returns an empty cache over g.
+func NewRouteCache(g *Graph) *RouteCache {
+	return &RouteCache{g: g, entries: make(map[bgp.ASN]*cacheEntry), version: g.Version()}
+}
+
+// Graph returns the graph the cache serves.
+func (rc *RouteCache) Graph() *Graph { return rc.g }
+
+// Routes returns the cached (or freshly computed) unfiltered
+// single-origin table toward dst.
+func (rc *RouteCache) Routes(dst bgp.ASN) (*CompiledRoutes, error) {
+	rc.mu.Lock()
+	if v := rc.g.Version(); v != rc.version {
+		rc.entries = make(map[bgp.ASN]*cacheEntry, len(rc.entries))
+		rc.version = v
+	}
+	e, ok := rc.entries[dst]
+	if !ok {
+		e = &cacheEntry{}
+		rc.entries[dst] = e
+	}
+	rc.mu.Unlock()
+	// Compute outside the map lock — concurrent lookups of other
+	// destinations proceed; same-destination callers share one compute.
+	e.once.Do(func() {
+		e.cr, e.err = rc.g.Routes(nil, Origin{ASN: dst})
+	})
+	return e.cr, e.err
+}
+
+// PathFrom returns the best path from src toward dst per the cached
+// table; ok=false means src has no route to dst.
+func (rc *RouteCache) PathFrom(src, dst bgp.ASN) (path []bgp.ASN, ok bool, err error) {
+	cr, err := rc.Routes(dst)
+	if err != nil {
+		return nil, false, err
+	}
+	path, ok = cr.PathFrom(src)
+	return path, ok, nil
+}

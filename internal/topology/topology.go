@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"quicksand/internal/bgp"
 )
@@ -73,8 +74,34 @@ func (a *AS) Degree() int { return len(a.customers) + len(a.peers) + len(a.provi
 
 // Graph is an AS-level topology. The zero value is empty; use AddAS and
 // AddLink to build it, or Generate for a synthetic Internet.
+//
+// A Graph is safe for concurrent reads (including Compiled, Routes, and
+// RouteCache lookups); mutations must not race with reads or each other.
 type Graph struct {
 	ases map[bgp.ASN]*AS
+
+	// version counts structural mutations; compiled snapshots and route
+	// caches tag themselves with it to detect staleness.
+	version uint64
+	// dirty collects ASes whose adjacency changed since the last
+	// compile, bounding the delta recompile; asAdded flags growth of the
+	// AS set itself, which forces a full compile.
+	dirty   map[bgp.ASN]bool
+	asAdded bool
+
+	mu       sync.Mutex // serialises lazy compilation across readers
+	compiled *Compiled
+}
+
+// noteMutation records a structural change touching the given ASes.
+func (g *Graph) noteMutation(asns ...bgp.ASN) {
+	g.version++
+	if g.dirty == nil {
+		g.dirty = make(map[bgp.ASN]bool)
+	}
+	for _, a := range asns {
+		g.dirty[a] = true
+	}
 }
 
 // NewGraph returns an empty topology.
@@ -88,6 +115,8 @@ func (g *Graph) AddAS(asn bgp.ASN) *AS {
 	}
 	a := &AS{ASN: asn}
 	g.ases[asn] = a
+	g.version++
+	g.asAdded = true
 	return a
 }
 
@@ -145,6 +174,7 @@ func (g *Graph) AddLink(provider, customer bgp.ASN) error {
 	c := g.AddAS(customer)
 	p.customers = insertSorted(p.customers, customer)
 	c.providers = insertSorted(c.providers, provider)
+	g.noteMutation(provider, customer)
 	return nil
 }
 
@@ -162,6 +192,7 @@ func (g *Graph) AddPeering(a, b bgp.ASN) error {
 	nb := g.AddAS(b)
 	na.peers = insertSorted(na.peers, b)
 	nb.peers = insertSorted(nb.peers, a)
+	g.noteMutation(a, b)
 	return nil
 }
 
@@ -187,6 +218,9 @@ func (g *Graph) RemoveLink(a, b bgp.ASN) bool {
 		na.peers = s
 		nb.peers, _ = removeSorted(nb.peers, a)
 		removed = true
+	}
+	if removed {
+		g.noteMutation(a, b)
 	}
 	return removed
 }

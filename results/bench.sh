@@ -5,6 +5,9 @@
 #   2. go test ./...                  (tier-1)
 #   3. go vet ./...
 #   4. go test -race over the worker pool and every parallel study path
+#   5. route-engine benchmark: compiled vs legacy ComputeRoutes at paper
+#      scale plus an end-to-end E3 run under each engine, recorded in
+#      results/BENCH_routes.json (compiled must hold a >= 3x speedup)
 #
 # Run from anywhere; operates on the repository root. Pass extra
 # arguments (e.g. -count=2) through to the race run.
@@ -29,5 +32,54 @@ echo "== observability overhead smoke (baselines: results/BENCH_obs.json) =="
 # results/BENCH_obs.json (see its description field to reproduce).
 go test -run '^$' -bench 'BenchmarkRunObserved|BenchmarkMapObserver' -benchtime 1x \
     ./internal/bgpsim/ ./internal/par/
+
+echo "== route engine: compiled vs legacy (-> results/BENCH_routes.json) =="
+# Microbenchmark both engines on the paper-scale generated topology
+# (~1028 ASes), then time E3 (the hijack study) end to end under each:
+# QUICKSAND_ROUTE_ENGINE=legacy flips the whole pipeline back onto the
+# map-based reference implementation.
+bench_out=$(mktemp)
+go test -run '^$' -bench 'BenchmarkComputeRoutes(Legacy|Compiled)$' \
+    -benchtime 2s -benchmem ./internal/topology/ | tee "$bench_out"
+
+e3_bin=$(mktemp)
+go build -o "$e3_bin" ./cmd/quicksand
+e3_secs() { # usage: e3_secs [ENV=val...]
+    s=$(date +%s%N)
+    env "$@" "$e3_bin" -scale small -seed 1 hijack >/dev/null
+    e=$(date +%s%N)
+    echo "$s $e" | awk '{ printf "%.3f", ($2 - $1) / 1e9 }'
+}
+e3_legacy=$(e3_secs QUICKSAND_ROUTE_ENGINE=legacy)
+e3_compiled=$(e3_secs)
+rm -f "$e3_bin"
+echo "E3 hijack study: legacy ${e3_legacy}s, compiled ${e3_compiled}s"
+
+awk -v e3l="$e3_legacy" -v e3c="$e3_compiled" -v date="$(date +%Y-%m-%d)" '
+$1 ~ /^BenchmarkComputeRoutesLegacy/   { lns = $3; lal = $7 }
+$1 ~ /^BenchmarkComputeRoutesCompiled/ { cns = $3; cal = $7 }
+END {
+    if (lns == "" || cns == "") { print "missing benchmark output" > "/dev/stderr"; exit 1 }
+    speedup = lns / cns
+    printf "{\n"
+    printf "  \"description\": \"Compiled route engine vs the legacy map-based ComputeRoutes, single destination on the paper-scale generated topology (~1028 ASes), plus the E3 hijack study end to end under each engine (QUICKSAND_ROUTE_ENGINE=legacy selects the reference path). Reproduce with: results/bench.sh\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"required_speedup\": 3.0,\n"
+    printf "  \"compute_routes\": {\n"
+    printf "    \"legacy_ns_per_op\": %s,\n", lns
+    printf "    \"legacy_allocs_per_op\": %s,\n", lal
+    printf "    \"compiled_ns_per_op\": %s,\n", cns
+    printf "    \"compiled_allocs_per_op\": %s,\n", cal
+    printf "    \"speedup\": %.1f\n", speedup
+    printf "  },\n"
+    printf "  \"e3_small_scale\": {\n"
+    printf "    \"legacy_seconds\": %s,\n", e3l
+    printf "    \"compiled_seconds\": %s\n", e3c
+    printf "  }\n"
+    printf "}\n"
+    if (speedup < 3.0) { print "FAIL: compiled engine speedup " speedup "x below 3x" > "/dev/stderr"; exit 1 }
+}' "$bench_out" > results/BENCH_routes.json
+rm -f "$bench_out"
+cat results/BENCH_routes.json
 
 echo "OK"

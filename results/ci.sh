@@ -8,12 +8,14 @@
 #   4. go test ./...                  (tier-1; includes the testkit
 #      invariant/differential layers and the golden regression suite)
 #   5. go test -race ./...
-#   6. serve smoke: the loopback monitord end-to-end tests under -race,
+#   6. route-engine differential: compiled vs legacy vs naive oracle,
+#      including delta recompilation and the golden engine toggle
+#   7. serve smoke: the loopback monitord end-to-end tests under -race,
 #      plus the observability wiring (-metrics-addr/-pprof) smoke test
-#   7. metrics lint: every Prometheus exposition (monitord, obs, serve)
+#   8. metrics lint: every Prometheus exposition (monitord, obs, serve)
 #      through the internal/testkit linter
-#   8. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
-#   9. per-package coverage floors (see floor() below)
+#   9. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
+#  10. per-package coverage floors (see floor() below)
 #
 # Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
 # skip the fuzz smoke (e.g. on very slow machines).
@@ -43,6 +45,15 @@ go test -count=1 -cover ./... | tee "$cover_out"
 
 echo "== go test -race ./... =="
 go test -race ./...
+
+echo "== route-engine differential (compiled vs legacy vs naive oracle) =="
+# The compiled engine must agree bit for bit with the legacy map-based
+# implementation and the testkit fixpoint oracle — on random topologies
+# (single origin, multi-origin hijack, announcement scoping, ROV
+# filters), across delta recompilations after graph mutations, and in
+# the end-to-end golden pipeline with the engine toggled off.
+go test -count=1 -run 'TestOracleAgrees|TestCompiledEngineAfterMutations|TestCompiledMatchesLegacy|TestCompiledDeltaRecompile|TestGoldenEngineInvariance' \
+    ./internal/testkit/ ./internal/topology/ ./cmd/quicksand/
 
 echo "== serve smoke (loopback daemon end-to-end, -race) =="
 # The monitord acceptance path: boot `quicksand serve` wiring and the
@@ -81,6 +92,7 @@ function floor(pkg) {
     if (pkg == "quicksand/cmd/torgen") return 50       # main() wiring untested
     if (pkg == "quicksand/internal/monitord") return 80 # daemon floor (required)
     if (pkg == "quicksand/internal/obs") return 80      # observability floor (required)
+    if (pkg == "quicksand/internal/topology") return 90 # route-engine floor (required)
     return 80                                          # library packages
 }
 $1 == "ok" {

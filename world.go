@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
 
 	"quicksand/internal/analysis"
 	"quicksand/internal/bgp"
@@ -104,6 +105,20 @@ type World struct {
 	// TorPrefixes are the guard/exit-hosting prefixes derived from the
 	// consensus via the RIB (the paper's §4 mapping).
 	TorPrefixes map[netip.Prefix]*analysis.TorPrefix
+
+	routeCacheOnce sync.Once
+	routeCache     *topology.RouteCache
+}
+
+// RouteCache returns the world's shared per-destination route cache,
+// created on first use. E5's static oracle and E7's rotation study draw
+// from the same cache, so a destination's table is computed once per
+// topology version no matter which experiment asks first.
+func (w *World) RouteCache() *topology.RouteCache {
+	w.routeCacheOnce.Do(func() {
+		w.routeCache = topology.NewRouteCache(w.Topology)
+	})
+	return w.routeCache
 }
 
 // TorPrefixSet returns the Tor prefixes as a set, the shape the churn
