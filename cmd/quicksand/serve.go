@@ -32,6 +32,7 @@ type serveOpts struct {
 	collectors string
 	mrtFiles   string
 	ribFile    string
+	snapshot   string
 
 	asn   uint
 	bgpID string
@@ -56,6 +57,7 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 	fs.StringVar(&o.collectors, "collectors", "", "comma-separated BGP speakers to dial and keep sessions with")
 	fs.StringVar(&o.mrtFiles, "mrt", "", "comma-separated BGP4MP update archives to ingest at startup")
 	fs.StringVar(&o.ribFile, "rib-snapshot", "", "TABLE_DUMP_V2 snapshot to seed the live RIB from at startup")
+	fs.StringVar(&o.snapshot, "snapshot", "", "binary RIB snapshot file: restored at startup if present, written at shutdown")
 	fs.UintVar(&o.asn, "asn", 64512, "local AS number")
 	fs.StringVar(&o.bgpID, "bgp-id", "198.51.100.1", "local BGP identifier (IPv4)")
 	fs.DurationVar(&o.hold, "hold", 90*time.Second, "proposed BGP hold time (0 disables keepalives)")
@@ -222,6 +224,20 @@ HTTP (GET /alerts, /rib, /healthz, /metrics).
 	logf("serve: watching %d prefixes; BGP %s, HTTP %s",
 		len(cfg.Watched), orDisabled(d.BGPAddr()), orDisabled(d.HTTPAddr()))
 
+	if o.snapshot != "" {
+		if _, err := os.Stat(o.snapshot); err == nil {
+			stats, err := d.LoadSnapshotFile(o.snapshot)
+			if err != nil {
+				shutdownQuiet(d)
+				return fmt.Errorf("-snapshot %s: %w", o.snapshot, err)
+			}
+			d.WaitQuiesce(time.Minute)
+			logf("serve: restored snapshot %s: %d sessions, %d prefixes, %d routes",
+				o.snapshot, stats.Sessions, stats.Prefixes, stats.Routes)
+		} else {
+			logf("serve: no snapshot at %s yet; will write one at shutdown", o.snapshot)
+		}
+	}
 	for _, path := range splitList(o.ribFile) {
 		if err := ingestFile(d, path, true, logf); err != nil {
 			shutdownQuiet(d)
@@ -243,6 +259,14 @@ HTTP (GET /alerts, /rib, /healthz, /metrics).
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
 		return err
+	}
+	if o.snapshot != "" {
+		stats, err := d.SaveSnapshotFile(o.snapshot)
+		if err != nil {
+			return fmt.Errorf("-snapshot %s: %w", o.snapshot, err)
+		}
+		logf("serve: wrote snapshot %s: %d sessions, %d prefixes, %d routes",
+			o.snapshot, stats.Sessions, stats.Prefixes, stats.Routes)
 	}
 	return rt.Close()
 }

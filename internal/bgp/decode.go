@@ -42,75 +42,110 @@ func ParseHeader(data []byte) (msgType int, msgLen int, err error) {
 // parsePrefixes decodes a run of RFC 4271 NLRI-encoded prefixes filling
 // exactly data.
 func parsePrefixes(data []byte) ([]netip.Prefix, error) {
-	var out []netip.Prefix
+	return appendPrefixes(nil, data)
+}
+
+// appendPrefixes decodes prefixes from data onto dst, reusing dst's
+// capacity — the allocation-lean entry point batched readers decode
+// through.
+func appendPrefixes(dst []netip.Prefix, data []byte) ([]netip.Prefix, error) {
 	for len(data) > 0 {
 		bits := int(data[0])
 		if bits > 32 {
-			return nil, fmt.Errorf("%w: length %d bits", ErrBadPrefix, bits)
+			return dst, fmt.Errorf("%w: length %d bits", ErrBadPrefix, bits)
 		}
 		nbytes := (bits + 7) / 8
 		if len(data) < 1+nbytes {
-			return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrBadPrefix, 1+nbytes, len(data))
+			return dst, fmt.Errorf("%w: need %d bytes, have %d", ErrBadPrefix, 1+nbytes, len(data))
 		}
 		var b [4]byte
 		copy(b[:], data[1:1+nbytes])
 		p, err := netip.AddrFrom4(b).Prefix(bits)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+			return dst, fmt.Errorf("%w: %v", ErrBadPrefix, err)
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		data = data[1+nbytes:]
 	}
-	return out, nil
+	return dst, nil
 }
 
 func parseASPath(data []byte, as4 bool) (ASPath, error) {
+	var p ASPath
+	if err := decodeASPathInto(&p, data, as4); err != nil {
+		return ASPath{}, err
+	}
+	return p, nil
+}
+
+// decodeASPathInto decodes AS_PATH segments from data into p, reusing the
+// capacity of p.Segments and of each retained segment's ASes slice.
+// p must arrive with len(p.Segments) == 0 (capacity is preserved).
+func decodeASPathInto(p *ASPath, data []byte, as4 bool) error {
 	asLen := 2
 	if as4 {
 		asLen = 4
 	}
-	var p ASPath
 	for len(data) > 0 {
 		if len(data) < 2 {
-			return ASPath{}, fmt.Errorf("%w: truncated AS_PATH segment header", ErrBadAttribute)
+			return fmt.Errorf("%w: truncated AS_PATH segment header", ErrBadAttribute)
 		}
 		segType := int(data[0])
 		count := int(data[1])
 		if segType != SegmentSet && segType != SegmentSequence {
-			return ASPath{}, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
+			return fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
 		}
 		need := 2 + count*asLen
 		if len(data) < need {
-			return ASPath{}, fmt.Errorf("%w: AS_PATH segment needs %d bytes, have %d", ErrBadAttribute, need, len(data))
+			return fmt.Errorf("%w: AS_PATH segment needs %d bytes, have %d", ErrBadAttribute, need, len(data))
 		}
-		seg := Segment{Type: segType, ASes: make([]ASN, count)}
+		// Re-extend into retained capacity so a reused segment keeps its
+		// ASes allocation.
+		n := len(p.Segments)
+		if cap(p.Segments) > n {
+			p.Segments = p.Segments[:n+1]
+		} else {
+			p.Segments = append(p.Segments, Segment{})
+		}
+		seg := &p.Segments[n]
+		seg.Type = segType
+		seg.ASes = seg.ASes[:0]
 		for i := 0; i < count; i++ {
 			off := 2 + i*asLen
 			if as4 {
-				seg.ASes[i] = ASN(binary.BigEndian.Uint32(data[off:]))
+				seg.ASes = append(seg.ASes, ASN(binary.BigEndian.Uint32(data[off:])))
 			} else {
-				seg.ASes[i] = ASN(binary.BigEndian.Uint16(data[off:]))
+				seg.ASes = append(seg.ASes, ASN(binary.BigEndian.Uint16(data[off:])))
 			}
 		}
-		p.Segments = append(p.Segments, seg)
 		data = data[need:]
 	}
-	return p, nil
+	return nil
 }
 
 // parseAttributes decodes the path-attributes block of an UPDATE.
 func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
 	var a PathAttributes
+	if err := parseAttributesInto(data, as4, &a); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// parseAttributesInto decodes the path-attributes block of an UPDATE into
+// a, which must arrive reset (see resetForParse) so retained slice
+// capacity is reused instead of reallocated.
+func parseAttributesInto(data []byte, as4 bool, a *PathAttributes) error {
 	for len(data) > 0 {
 		if len(data) < 3 {
-			return a, fmt.Errorf("%w: truncated attribute header", ErrBadAttribute)
+			return fmt.Errorf("%w: truncated attribute header", ErrBadAttribute)
 		}
 		flags := data[0]
 		typ := data[1]
 		var alen, hdr int
 		if flags&flagExtLen != 0 {
 			if len(data) < 4 {
-				return a, fmt.Errorf("%w: truncated extended length", ErrBadAttribute)
+				return fmt.Errorf("%w: truncated extended length", ErrBadAttribute)
 			}
 			alen = int(binary.BigEndian.Uint16(data[2:4]))
 			hdr = 4
@@ -119,43 +154,41 @@ func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
 			hdr = 3
 		}
 		if len(data) < hdr+alen {
-			return a, fmt.Errorf("%w: attribute %d needs %d bytes, have %d", ErrBadAttribute, typ, hdr+alen, len(data))
+			return fmt.Errorf("%w: attribute %d needs %d bytes, have %d", ErrBadAttribute, typ, hdr+alen, len(data))
 		}
 		val := data[hdr : hdr+alen]
 		switch typ {
 		case AttrOrigin:
 			if alen != 1 || val[0] > OriginIncomplete {
-				return a, fmt.Errorf("%w: ORIGIN", ErrBadAttribute)
+				return fmt.Errorf("%w: ORIGIN", ErrBadAttribute)
 			}
 			a.Origin = int(val[0])
 			a.HasOrigin = true
 		case AttrASPath:
-			p, err := parseASPath(val, as4)
-			if err != nil {
-				return a, err
+			if err := decodeASPathInto(&a.ASPath, val, as4); err != nil {
+				return err
 			}
-			a.ASPath = p
 			a.HasASPath = true
 		case AttrNextHop:
 			if alen != 4 {
-				return a, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttribute, alen)
+				return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttribute, alen)
 			}
 			a.NextHop = netip.AddrFrom4([4]byte(val))
 		case AttrMED:
 			if alen != 4 {
-				return a, fmt.Errorf("%w: MED length %d", ErrBadAttribute, alen)
+				return fmt.Errorf("%w: MED length %d", ErrBadAttribute, alen)
 			}
 			a.MED = binary.BigEndian.Uint32(val)
 			a.HasMED = true
 		case AttrLocalPref:
 			if alen != 4 {
-				return a, fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadAttribute, alen)
+				return fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadAttribute, alen)
 			}
 			a.LocalPref = binary.BigEndian.Uint32(val)
 			a.HasLocalPref = true
 		case AttrAtomicAggregate:
 			if alen != 0 {
-				return a, fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrBadAttribute, alen)
+				return fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrBadAttribute, alen)
 			}
 			a.AtomicAggregate = true
 		case AttrAggregator:
@@ -164,7 +197,7 @@ func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
 				want = 8
 			}
 			if alen != want {
-				return a, fmt.Errorf("%w: AGGREGATOR length %d, want %d", ErrBadAttribute, alen, want)
+				return fmt.Errorf("%w: AGGREGATOR length %d, want %d", ErrBadAttribute, alen, want)
 			}
 			var agg Aggregator
 			if as4 {
@@ -177,7 +210,7 @@ func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
 			a.Aggregator = &agg
 		case AttrCommunities:
 			if alen%4 != 0 {
-				return a, fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, alen)
+				return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, alen)
 			}
 			for i := 0; i < alen; i += 4 {
 				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(val[i:])))
@@ -186,53 +219,76 @@ func parseAttributes(data []byte, as4 bool) (PathAttributes, error) {
 			// Unknown optional attributes are tolerated (and dropped);
 			// unknown well-known attributes are an error per RFC 4271.
 			if flags&flagOptional == 0 {
-				return a, fmt.Errorf("%w: unrecognised well-known attribute %d", ErrBadAttribute, typ)
+				return fmt.Errorf("%w: unrecognised well-known attribute %d", ErrBadAttribute, typ)
 			}
 		}
 		data = data[hdr+alen:]
 	}
-	return a, nil
+	return nil
 }
 
 // ParseUpdate decodes a full UPDATE message (header included). as4 must
 // match the encoding negotiated on the session.
 func ParseUpdate(data []byte, as4 bool) (*Update, error) {
-	msgType, msgLen, err := ParseHeader(data)
-	if err != nil {
-		return nil, err
-	}
-	if msgType != TypeUpdate {
-		return nil, fmt.Errorf("bgp: message type %d is not UPDATE", msgType)
-	}
-	if len(data) < msgLen {
-		return nil, fmt.Errorf("%w: have %d of %d bytes", ErrShortMessage, len(data), msgLen)
-	}
-	body := data[HeaderLen:msgLen]
-	if len(body) < 2 {
-		return nil, fmt.Errorf("%w: no withdrawn-routes length", ErrShortMessage)
-	}
-	wlen := int(binary.BigEndian.Uint16(body[:2]))
-	if len(body) < 2+wlen+2 {
-		return nil, fmt.Errorf("%w: withdrawn routes overflow body", ErrShortMessage)
-	}
 	u := &Update{}
-	u.Withdrawn, err = parsePrefixes(body[2 : 2+wlen])
-	if err != nil {
-		return nil, err
-	}
-	alen := int(binary.BigEndian.Uint16(body[2+wlen : 4+wlen]))
-	if len(body) < 4+wlen+alen {
-		return nil, fmt.Errorf("%w: attributes overflow body", ErrShortMessage)
-	}
-	u.Attrs, err = parseAttributes(body[4+wlen:4+wlen+alen], as4)
-	if err != nil {
-		return nil, err
-	}
-	u.NLRI, err = parsePrefixes(body[4+wlen+alen:])
-	if err != nil {
+	if err := ParseUpdateInto(data, as4, u); err != nil {
 		return nil, err
 	}
 	return u, nil
+}
+
+// resetForParse clears u for redecoding while retaining the capacity of
+// its slices (withdrawn routes, NLRI, AS_PATH segments and their ASes,
+// communities).
+func (u *Update) resetForParse() {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.NLRI = u.NLRI[:0]
+	segs := u.Attrs.ASPath.Segments[:0]
+	comms := u.Attrs.Communities[:0]
+	u.Attrs = PathAttributes{}
+	u.Attrs.ASPath.Segments = segs
+	u.Attrs.Communities = comms
+}
+
+// ParseUpdateInto decodes a full UPDATE message (header included) into u,
+// reusing u's retained slice capacity instead of allocating — the
+// zero-copy entry point for batched session readers. The previous
+// contents of u are invalidated; callers that keep path data across
+// calls must copy it out first. Nothing in u aliases data after return,
+// so data may be a reusable read buffer.
+func ParseUpdateInto(data []byte, as4 bool, u *Update) error {
+	msgType, msgLen, err := ParseHeader(data)
+	if err != nil {
+		return err
+	}
+	if msgType != TypeUpdate {
+		return fmt.Errorf("bgp: message type %d is not UPDATE", msgType)
+	}
+	if len(data) < msgLen {
+		return fmt.Errorf("%w: have %d of %d bytes", ErrShortMessage, len(data), msgLen)
+	}
+	body := data[HeaderLen:msgLen]
+	if len(body) < 2 {
+		return fmt.Errorf("%w: no withdrawn-routes length", ErrShortMessage)
+	}
+	wlen := int(binary.BigEndian.Uint16(body[:2]))
+	if len(body) < 2+wlen+2 {
+		return fmt.Errorf("%w: withdrawn routes overflow body", ErrShortMessage)
+	}
+	u.resetForParse()
+	u.Withdrawn, err = appendPrefixes(u.Withdrawn, body[2:2+wlen])
+	if err != nil {
+		return err
+	}
+	alen := int(binary.BigEndian.Uint16(body[2+wlen : 4+wlen]))
+	if len(body) < 4+wlen+alen {
+		return fmt.Errorf("%w: attributes overflow body", ErrShortMessage)
+	}
+	if err := parseAttributesInto(body[4+wlen:4+wlen+alen], as4, &u.Attrs); err != nil {
+		return err
+	}
+	u.NLRI, err = appendPrefixes(u.NLRI, body[4+wlen+alen:])
+	return err
 }
 
 // ParseOpen decodes a full OPEN message (header included).

@@ -42,7 +42,7 @@ func appendHeader(dst []byte, msgType int, bodyLen int) []byte {
 // followed by the minimum number of address bytes.
 func appendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
 	if !p.IsValid() || !p.Addr().Is4() {
-		return nil, fmt.Errorf("bgp: cannot encode non-IPv4 prefix %v", p)
+		return dst, fmt.Errorf("bgp: cannot encode non-IPv4 prefix %v", p)
 	}
 	p = p.Masked()
 	dst = append(dst, byte(p.Bits()))
@@ -53,10 +53,10 @@ func appendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
 func appendASPath(dst []byte, p ASPath, as4 bool) ([]byte, error) {
 	for _, s := range p.Segments {
 		if s.Type != SegmentSet && s.Type != SegmentSequence {
-			return nil, fmt.Errorf("bgp: invalid AS_PATH segment type %d", s.Type)
+			return dst, fmt.Errorf("bgp: invalid AS_PATH segment type %d", s.Type)
 		}
 		if len(s.ASes) == 0 || len(s.ASes) > 255 {
-			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASes", len(s.ASes))
+			return dst, fmt.Errorf("bgp: AS_PATH segment with %d ASes", len(s.ASes))
 		}
 		dst = append(dst, byte(s.Type), byte(len(s.ASes)))
 		for _, a := range s.ASes {
@@ -73,111 +73,146 @@ func appendASPath(dst []byte, p ASPath, as4 bool) ([]byte, error) {
 	return dst, nil
 }
 
-// appendAttr appends one path attribute with the extended-length flag set
-// automatically when the value exceeds 255 bytes.
-func appendAttr(dst []byte, flags, typ byte, val []byte) []byte {
-	if len(val) > 255 {
-		flags |= flagExtLen
-	}
-	dst = append(dst, flags, typ)
-	if flags&flagExtLen != 0 {
-		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
-	} else {
-		dst = append(dst, byte(len(val)))
-	}
-	return append(dst, val...)
-}
-
 // Marshal encodes the UPDATE into a full BGP message (header included).
 // as4 selects 4-octet AS_PATH encoding, matching a session on which the
 // 4-octet-AS capability was negotiated.
 func (u *Update) Marshal(as4 bool) ([]byte, error) {
-	var withdrawn []byte
-	var err error
-	for _, p := range u.Withdrawn {
-		withdrawn, err = appendPrefix(withdrawn, p)
-		if err != nil {
-			return nil, err
-		}
-	}
+	return u.AppendMessage(nil, as4)
+}
 
-	var attrs []byte
-	a := &u.Attrs
+// appendAttrHeader writes one attribute's flags/type/length prefix, with
+// the extended-length flag set automatically when vlen exceeds 255. The
+// caller appends exactly vlen value bytes next.
+func appendAttrHeader(dst []byte, flags, typ byte, vlen int) []byte {
+	if vlen > 255 {
+		flags |= flagExtLen
+	}
+	dst = append(dst, flags, typ)
+	if flags&flagExtLen != 0 {
+		return binary.BigEndian.AppendUint16(dst, uint16(vlen))
+	}
+	return append(dst, byte(vlen))
+}
+
+// asPathWireLen is the encoded size of p: every attribute length here is
+// computable up front, which is what lets AppendMessage encode straight
+// into dst with no intermediate value buffers.
+func asPathWireLen(p ASPath, as4 bool) int {
+	w := 2
+	if as4 {
+		w = 4
+	}
+	n := 0
+	for _, s := range p.Segments {
+		n += 2 + len(s.ASes)*w
+	}
+	return n
+}
+
+// appendAttributes appends the path-attribute block (without its 2-byte
+// total length, which the caller backpatches).
+func appendAttributes(dst []byte, a *PathAttributes, as4 bool) ([]byte, error) {
 	if a.HasOrigin {
 		if a.Origin < OriginIGP || a.Origin > OriginIncomplete {
-			return nil, fmt.Errorf("bgp: invalid ORIGIN %d", a.Origin)
+			return dst, fmt.Errorf("bgp: invalid ORIGIN %d", a.Origin)
 		}
-		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{byte(a.Origin)})
+		dst = appendAttrHeader(dst, flagTransitive, AttrOrigin, 1)
+		dst = append(dst, byte(a.Origin))
 	}
 	if a.HasASPath {
-		v, err := appendASPath(nil, a.ASPath, as4)
-		if err != nil {
-			return nil, err
+		dst = appendAttrHeader(dst, flagTransitive, AttrASPath, asPathWireLen(a.ASPath, as4))
+		var err error
+		if dst, err = appendASPath(dst, a.ASPath, as4); err != nil {
+			return dst, err
 		}
-		attrs = appendAttr(attrs, flagTransitive, AttrASPath, v)
 	}
 	if a.NextHop.IsValid() {
 		if !a.NextHop.Is4() {
-			return nil, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", a.NextHop)
+			return dst, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", a.NextHop)
 		}
 		nh := a.NextHop.As4()
-		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+		dst = appendAttrHeader(dst, flagTransitive, AttrNextHop, 4)
+		dst = append(dst, nh[:]...)
 	}
 	if a.HasMED {
-		attrs = appendAttr(attrs, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+		dst = appendAttrHeader(dst, flagOptional, AttrMED, 4)
+		dst = binary.BigEndian.AppendUint32(dst, a.MED)
 	}
 	if a.HasLocalPref {
-		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+		dst = appendAttrHeader(dst, flagTransitive, AttrLocalPref, 4)
+		dst = binary.BigEndian.AppendUint32(dst, a.LocalPref)
 	}
 	if a.AtomicAggregate {
-		attrs = appendAttr(attrs, flagTransitive, AttrAtomicAggregate, nil)
+		dst = appendAttrHeader(dst, flagTransitive, AttrAtomicAggregate, 0)
 	}
 	if a.Aggregator != nil {
 		if !a.Aggregator.Addr.Is4() {
-			return nil, fmt.Errorf("bgp: AGGREGATOR address %v is not IPv4", a.Aggregator.Addr)
+			return dst, fmt.Errorf("bgp: AGGREGATOR address %v is not IPv4", a.Aggregator.Addr)
 		}
-		var v []byte
+		vlen := 6
 		if as4 {
-			v = binary.BigEndian.AppendUint32(v, uint32(a.Aggregator.ASN))
+			vlen = 8
+		}
+		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrAggregator, vlen)
+		if as4 {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(a.Aggregator.ASN))
 		} else {
 			asn := a.Aggregator.ASN
 			if asn > 0xFFFF {
 				asn = ASTrans
 			}
-			v = binary.BigEndian.AppendUint16(v, uint16(asn))
+			dst = binary.BigEndian.AppendUint16(dst, uint16(asn))
 		}
 		ip := a.Aggregator.Addr.As4()
-		v = append(v, ip[:]...)
-		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrAggregator, v)
+		dst = append(dst, ip[:]...)
 	}
 	if len(a.Communities) > 0 {
-		var v []byte
+		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrCommunities, 4*len(a.Communities))
 		for _, c := range a.Communities {
-			v = binary.BigEndian.AppendUint32(v, uint32(c))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(c))
 		}
-		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, v)
 	}
+	return dst, nil
+}
 
-	var nlri []byte
+// AppendMessage appends the UPDATE's full wire encoding (header
+// included) to dst and returns the extended slice — the encode twin of
+// ParseUpdateInto. It writes every section straight into dst,
+// backpatching the three length fields, so a caller reusing dst's
+// capacity (e.g. a session marshaling a burst) allocates nothing. On
+// error dst is returned truncated to its original length.
+func (u *Update) AppendMessage(dst []byte, as4 bool) ([]byte, error) {
+	start := len(dst)
+	dst = appendHeader(dst, TypeUpdate, 0) // total length backpatched below
+
+	var err error
+	wdStart := len(dst)
+	dst = append(dst, 0, 0)
+	for _, p := range u.Withdrawn {
+		if dst, err = appendPrefix(dst, p); err != nil {
+			return dst[:start], err
+		}
+	}
+	binary.BigEndian.PutUint16(dst[wdStart:], uint16(len(dst)-wdStart-2))
+
+	atStart := len(dst)
+	dst = append(dst, 0, 0)
+	if dst, err = appendAttributes(dst, &u.Attrs, as4); err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint16(dst[atStart:], uint16(len(dst)-atStart-2))
+
 	for _, p := range u.NLRI {
-		nlri, err = appendPrefix(nlri, p)
-		if err != nil {
-			return nil, err
+		if dst, err = appendPrefix(dst, p); err != nil {
+			return dst[:start], err
 		}
 	}
-
-	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
-	if HeaderLen+bodyLen > MaxMessageLen {
-		return nil, fmt.Errorf("bgp: UPDATE length %d exceeds maximum %d", HeaderLen+bodyLen, MaxMessageLen)
+	msgLen := len(dst) - start
+	if msgLen > MaxMessageLen {
+		return dst[:start], fmt.Errorf("bgp: UPDATE length %d exceeds maximum %d", msgLen, MaxMessageLen)
 	}
-	out := make([]byte, 0, HeaderLen+bodyLen)
-	out = appendHeader(out, TypeUpdate, bodyLen)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(withdrawn)))
-	out = append(out, withdrawn...)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
-	out = append(out, attrs...)
-	out = append(out, nlri...)
-	return out, nil
+	binary.BigEndian.PutUint16(dst[start+MarkerLen:], uint16(msgLen))
+	return dst, nil
 }
 
 // Marshal encodes the OPEN into a full BGP message. When o.AS4 is set, the

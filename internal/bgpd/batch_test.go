@@ -1,0 +1,229 @@
+package bgpd
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+)
+
+// chunkConn is a scripted net.Conn: Read hands out a fixed byte stream
+// at most chunk bytes at a time, simulating arbitrary TCP segmentation
+// (split headers, coalesced messages) deterministically. Writes (the
+// NOTIFICATION path) are discarded.
+type chunkConn struct {
+	mu     sync.Mutex
+	data   []byte
+	chunk  int
+	closed bool
+}
+
+func newChunkConn(data []byte, chunk int) *chunkConn {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &chunkConn{data: data, chunk: chunk}
+}
+
+func (c *chunkConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > c.chunk {
+		n = c.chunk
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func (c *chunkConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return len(p), nil
+}
+
+func (c *chunkConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *chunkConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *chunkConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *chunkConn) SetDeadline(t time.Time) error      { return nil }
+func (c *chunkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *chunkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// testUpdates builds a deterministic mix of announcements, withdrawals,
+// and an empty-AS_PATH update, marshaled back-to-back with keepalives
+// interleaved.
+func testWire(t testing.TB, as4 bool) ([]byte, []*bgp.Update) {
+	t.Helper()
+	mk := func(pfx string, path ...bgp.ASN) *bgp.Update {
+		return &bgp.Update{
+			NLRI: []netip.Prefix{netip.MustParsePrefix(pfx)},
+			Attrs: bgp.PathAttributes{
+				HasOrigin: true, Origin: bgp.OriginIGP,
+				HasASPath: true, ASPath: bgp.Sequence(path...),
+				NextHop: netip.MustParseAddr("203.0.113.1"),
+			},
+		}
+	}
+	empty := mk("198.51.100.0/24", 64501)
+	empty.Attrs.ASPath = bgp.ASPath{} // AS_PATH present, zero segments
+	updates := []*bgp.Update{
+		mk("10.0.0.0/16", 64501, 64500, 64496),
+		{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")}},
+		mk("192.0.2.0/24", 64501, 666),
+		empty,
+		mk("10.1.0.0/16", 64501, 64510, 64511, 64512),
+	}
+	ka, err := (&bgp.Keepalive{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []byte
+	wire = append(wire, ka...) // leading keepalive must be swallowed
+	for i, u := range updates {
+		raw, err := u.Marshal(as4)
+		if err != nil {
+			t.Fatalf("marshal update %d: %v", i, err)
+		}
+		wire = append(wire, raw...)
+		if i%2 == 1 {
+			wire = append(wire, ka...)
+		}
+	}
+	return wire, updates
+}
+
+// drainBatch runs RecvUpdateBatch to exhaustion with the given batch
+// capacity, returning every decoded update (copied out of the batch
+// buffer) and the terminal error.
+func drainBatch(s *Session, batchCap int) ([]bgp.Update, error) {
+	var got []bgp.Update
+	for {
+		dst := make([]bgp.Update, batchCap)
+		n, err := s.RecvUpdateBatch(dst)
+		got = append(got, dst[:n]...)
+		if err != nil {
+			return got, err
+		}
+	}
+}
+
+// TestRecvUpdateBatchSegmentBoundaries pins batch decode against every
+// pathological TCP segmentation: byte-at-a-time delivery, chunks that
+// split headers mid-way, and full coalescing, across batch capacities
+// from 1 (degenerate single-message path) to larger than the stream.
+func TestRecvUpdateBatchSegmentBoundaries(t *testing.T) {
+	wire, want := testWire(t, false)
+	for _, chunk := range []int{1, 7, bgp.HeaderLen, bgp.HeaderLen + 1, 64, len(wire)} {
+		for _, batchCap := range []int{1, 2, 3, 64} {
+			s := rawSession(newChunkConn(append([]byte(nil), wire...), chunk))
+			got, err := drainBatch(s, batchCap)
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("chunk=%d cap=%d: terminal err = %v, want EOF", chunk, batchCap, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("chunk=%d cap=%d: decoded %d updates, want %d", chunk, batchCap, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(&got[i], want[i]) {
+					t.Errorf("chunk=%d cap=%d: update %d = %+v, want %+v", chunk, batchCap, i, &got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRecvUpdateBatchMatchesRecvUpdate is the differential check on a
+// clean stream: batch drain and sequential RecvUpdate must decode the
+// identical update sequence.
+func TestRecvUpdateBatchMatchesRecvUpdate(t *testing.T) {
+	wire, _ := testWire(t, false)
+	sBatch := rawSession(newChunkConn(append([]byte(nil), wire...), 11))
+	batched, _ := drainBatch(sBatch, 4)
+
+	sSeq := rawSession(newChunkConn(append([]byte(nil), wire...), 11))
+	var sequential []bgp.Update
+	for {
+		u, err := sSeq.RecvUpdate()
+		if err != nil {
+			break
+		}
+		sequential = append(sequential, *u)
+	}
+	if !reflect.DeepEqual(batched, sequential) {
+		t.Errorf("batch decode diverges from sequential:\n batch: %+v\n  seq:  %+v", batched, sequential)
+	}
+}
+
+// FuzzRecvUpdateBatch feeds an arbitrary byte stream through both the
+// batched and the sequential receive paths under fuzz-chosen TCP
+// segmentation and batch capacity, and demands they agree: the same
+// decoded update sequence, and an error on the same remaining tail.
+// This is the safety net for the buffered fast path — a bug in
+// bufferedMessage's header peeking or in buffer reuse shows up as a
+// divergence, a crash, or a hang (the harness timeout).
+func FuzzRecvUpdateBatch(f *testing.F) {
+	wire, _ := testWire(f, false)
+	f.Add(wire, uint8(1), uint8(1))
+	f.Add(wire, uint8(7), uint8(3))
+	f.Add(wire, uint8(255), uint8(64))
+	f.Add(wire[:len(wire)-3], uint8(16), uint8(2)) // truncated tail
+	corrupt := append([]byte(nil), wire...)
+	corrupt[bgp.MarkerLen] = 0xFF // absurd declared length
+	f.Add(corrupt, uint8(9), uint8(4))
+	f.Add([]byte{}, uint8(1), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8, batchCap uint8) {
+		if batchCap == 0 {
+			batchCap = 1
+		}
+		sBatch := rawSession(newChunkConn(append([]byte(nil), data...), int(chunk)))
+		batched, batchErr := drainBatch(sBatch, int(batchCap))
+
+		sSeq := rawSession(newChunkConn(append([]byte(nil), data...), int(chunk)))
+		var sequential []bgp.Update
+		var seqErr error
+		for {
+			u, err := sSeq.RecvUpdate()
+			if err != nil {
+				seqErr = err
+				break
+			}
+			sequential = append(sequential, *u)
+		}
+
+		if len(batched) != len(sequential) {
+			t.Fatalf("batch decoded %d updates, sequential %d (chunk=%d cap=%d)",
+				len(batched), len(sequential), chunk, batchCap)
+		}
+		for i := range batched {
+			if !reflect.DeepEqual(batched[i], sequential[i]) {
+				t.Fatalf("update %d diverges:\n batch: %+v\n  seq:  %+v", i, batched[i], sequential[i])
+			}
+		}
+		if (batchErr == nil) != (seqErr == nil) {
+			t.Fatalf("terminal errors diverge: batch=%v sequential=%v", batchErr, seqErr)
+		}
+	})
+}

@@ -12,6 +12,7 @@
 package bgpd
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,11 @@ import (
 
 	"quicksand/internal/bgp"
 )
+
+// readerBufSize sizes each session's buffered reader: large enough that
+// a burst of collector updates is absorbed in one read syscall, small
+// enough that thousands of sessions stay cheap.
+const readerBufSize = 64 << 10
 
 // Config describes the local end of a session.
 type Config struct {
@@ -75,6 +81,11 @@ type Session struct {
 	holdTime time.Duration
 
 	writeMu sync.Mutex
+	// br buffers conn on the read side so a burst of small messages
+	// costs one syscall; readBuf is the reusable per-session message
+	// buffer (both lazily initialised — only the single reader
+	// goroutine touches them).
+	br      *bufio.Reader
 	readBuf []byte
 
 	onClose func(*Session)
@@ -209,6 +220,16 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 // real risk with synchronous transports such as net.Pipe, and with dead
 // TCP peers before keepalive timeouts fire).
 func (s *Session) write(raw []byte, timeout time.Duration) error {
+	err := s.writeRaw(raw, timeout)
+	if err == nil && len(raw) > bgp.HeaderLen-1 {
+		s.met.MsgOut(int(raw[bgp.HeaderLen-1]))
+	}
+	return err
+}
+
+// writeRaw transmits raw without message accounting (SendUpdates counts
+// its own batch).
+func (s *Session) writeRaw(raw []byte, timeout time.Duration) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	if timeout > 0 {
@@ -218,9 +239,6 @@ func (s *Session) write(raw []byte, timeout time.Duration) error {
 		defer s.conn.SetWriteDeadline(time.Time{})
 	}
 	_, err := s.conn.Write(raw)
-	if err == nil && len(raw) > bgp.HeaderLen-1 {
-		s.met.MsgOut(int(raw[bgp.HeaderLen-1]))
-	}
 	return err
 }
 
@@ -241,8 +259,18 @@ func (s *Session) keepaliveLoop(interval time.Duration) {
 	}
 }
 
+// reader returns the session's buffered reader, creating it on first
+// use (sessions built directly in tests never touch Establish).
+func (s *Session) reader() *bufio.Reader {
+	if s.br == nil {
+		s.br = bufio.NewReaderSize(s.conn, readerBufSize)
+	}
+	return s.br
+}
+
 // readMessage reads one full BGP message, applying timeout as a read
-// deadline when positive. It returns the raw message and its type.
+// deadline when positive. The returned slice aliases the session's
+// reusable message buffer and is only valid until the next read.
 func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
 	if timeout > 0 {
 		if err := s.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -250,8 +278,12 @@ func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
 		}
 		defer s.conn.SetReadDeadline(time.Time{})
 	}
-	hdr := make([]byte, bgp.HeaderLen)
-	if _, err := io.ReadFull(s.conn, hdr); err != nil {
+	br := s.reader()
+	if s.readBuf == nil {
+		s.readBuf = make([]byte, bgp.MaxMessageLen)
+	}
+	hdr := s.readBuf[:bgp.HeaderLen]
+	if _, err := io.ReadFull(br, hdr); err != nil {
 		if isTimeout(err) {
 			return nil, 0, ErrHoldExpired
 		}
@@ -262,9 +294,8 @@ func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
 		s.notifyAndClose(bgp.NotifMessageHeaderError, 0, nil)
 		return nil, 0, err
 	}
-	raw := make([]byte, msgLen)
-	copy(raw, hdr)
-	if _, err := io.ReadFull(s.conn, raw[bgp.HeaderLen:]); err != nil {
+	raw := s.readBuf[:msgLen]
+	if _, err := io.ReadFull(br, raw[bgp.HeaderLen:]); err != nil {
 		if isTimeout(err) {
 			return nil, 0, ErrHoldExpired
 		}
@@ -272,6 +303,26 @@ func (s *Session) readMessage(timeout time.Duration) ([]byte, int, error) {
 	}
 	s.met.MsgIn(msgType)
 	return raw, msgType, nil
+}
+
+// bufferedMessage reports whether a complete BGP message is already
+// sitting in the session's read buffer, i.e. whether another readMessage
+// is guaranteed not to block. A buffered-but-malformed header counts as
+// available so the read path surfaces its error.
+func (s *Session) bufferedMessage() bool {
+	br := s.reader()
+	if br.Buffered() < bgp.HeaderLen {
+		return false
+	}
+	hdr, err := br.Peek(bgp.HeaderLen)
+	if err != nil {
+		return false
+	}
+	_, msgLen, err := bgp.ParseHeader(hdr)
+	if err != nil {
+		return true
+	}
+	return br.Buffered() >= msgLen
 }
 
 func isTimeout(err error) bool {
@@ -328,6 +379,99 @@ func (s *Session) RecvUpdate() (*bgp.Update, error) {
 			return nil, fmt.Errorf("bgpd: unexpected message type %d", msgType)
 		}
 	}
+}
+
+// RecvUpdateBatch decodes UPDATE messages into dst, blocking only for
+// the first: once one UPDATE has arrived, every further message already
+// sitting in the session's read buffer is decoded too, until the buffer
+// runs dry or dst is full. Decoding reuses dst's retained slice capacity
+// (bgp.ParseUpdateInto), so a long-lived dst amortises to zero
+// allocations per message.
+//
+// It returns the number of updates decoded into dst[:n]; n may be
+// positive even when err is non-nil (the error applies to the message
+// after the n good ones). Keepalives are swallowed, the hold timer is
+// enforced on the blocking read, and NOTIFICATION/close semantics match
+// RecvUpdate.
+func (s *Session) RecvUpdateBatch(dst []bgp.Update) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for {
+		select {
+		case <-s.closed:
+			return n, ErrClosed
+		default:
+		}
+		if n > 0 && !s.bufferedMessage() {
+			return n, nil
+		}
+		timeout := s.holdTime
+		if n > 0 {
+			timeout = 0 // reading buffered bytes; never blocks
+		}
+		raw, msgType, err := s.readMessage(timeout)
+		if err != nil {
+			if errors.Is(err, ErrHoldExpired) {
+				s.notifyAndClose(bgp.NotifHoldTimerExpired, 0, nil)
+			}
+			return n, err
+		}
+		switch msgType {
+		case bgp.TypeKeepalive:
+			continue
+		case bgp.TypeUpdate:
+			if err := bgp.ParseUpdateInto(raw, s.as4, &dst[n]); err != nil {
+				return n, err
+			}
+			n++
+			if n == len(dst) {
+				return n, nil
+			}
+		case bgp.TypeNotification:
+			nf, perr := bgp.ParseNotification(raw)
+			if perr != nil {
+				return n, perr
+			}
+			s.closeConn()
+			return n, fmt.Errorf("%w: code %d subcode %d", ErrNotification, nf.Code, nf.Subcode)
+		default:
+			return n, fmt.Errorf("bgpd: unexpected message type %d", msgType)
+		}
+	}
+}
+
+// SendUpdates marshals a batch of UPDATEs into one buffer and transmits
+// them in a single write — the sender-side twin of RecvUpdateBatch
+// (collectors emit updates in bursts; one syscall per burst instead of
+// one per message).
+func (s *Session) SendUpdates(us []*bgp.Update) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	// One appender buffer for the whole burst: AppendMessage encodes
+	// straight into it, so the burst costs a handful of buffer growths
+	// rather than several allocations per message.
+	raw := make([]byte, 0, 64*len(us))
+	var err error
+	for _, u := range us {
+		if raw, err = u.AppendMessage(raw, s.as4); err != nil {
+			return err
+		}
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := s.writeRaw(raw, 0); err != nil {
+		return err
+	}
+	for range us {
+		s.met.MsgOut(bgp.TypeUpdate)
+	}
+	return nil
 }
 
 func (s *Session) notifyAndClose(code, subcode uint8, data []byte) {

@@ -83,6 +83,7 @@ func BenchmarkMonitordIngestTCP(b *testing.B) {
 		},
 		ListenBGP: "127.0.0.1:0",
 		Shards:    8,
+		ReadBatch: 256,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -119,11 +120,24 @@ func BenchmarkMonitordIngestTCP(b *testing.B) {
 		updates[i] = u
 	}
 
+	// Send in bursts through SendUpdates, as a replaying collector
+	// would: the receive side drains each burst through the batched
+	// session reader (RecvUpdateBatch) into batched dispatcher sends.
+	const sendBatch = 256
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := sess.SendUpdate(updates[i&(len(updates)-1)]); err != nil {
-			b.Fatalf("send %d: %v", i, err)
+	for sent := 0; sent < b.N; {
+		off := sent & (len(updates) - 1)
+		n := sendBatch
+		if b.N-sent < n {
+			n = b.N - sent
 		}
+		if off+n > len(updates) {
+			n = len(updates) - off
+		}
+		if err := sess.SendUpdates(updates[off : off+n]); err != nil {
+			b.Fatalf("send at %d: %v", sent, err)
+		}
+		sent += n
 	}
 	// Wait for the daemon to absorb everything sent.
 	deadline := time.Now().Add(time.Minute)

@@ -58,11 +58,25 @@ func (d *Daemon) dialLoop(addr string) {
 			continue
 		}
 		conn.SetDeadline(time.Time{})
-		backoff = d.cfg.DialBackoffBase // healthy session resets the backoff
 		si := d.registerSession(sess, addr, "collector")
 		d.cfg.Logf("monitord: collector session %d up with AS%d (%s)", si.id, uint32(si.peerAS), addr)
+		established := time.Now()
 		d.readLoop(sess, si)
-		// Session dropped; loop reconnects unless we're shutting down.
+		// Session dropped. Only a session that proved healthy — survived
+		// DialHealthyAfter or delivered at least one update — resets the
+		// backoff; a peer that establishes and immediately hangs up keeps
+		// the exponential schedule, so a flapping collector cannot force
+		// a tight redial loop. Either way the jittered backoff is slept
+		// before the redial.
+		if time.Since(established) >= d.cfg.DialHealthyAfter || si.updates.Load() > 0 {
+			backoff = d.cfg.DialBackoffBase
+		} else {
+			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
+		}
+		d.cfg.Logf("monitord: collector session %d with %s down (redial in ~%v)", si.id, addr, backoff)
+		if !d.sleepJittered(rng, backoff) {
+			return
+		}
 	}
 }
 

@@ -26,6 +26,12 @@ type metrics struct {
 	withdrawals *obs.Counter
 	mrtRecords  *obs.Counter
 
+	// droppedNoASPath / droppedNonIPv4 count updates discarded before
+	// ingest, pre-resolved per reason so the families appear (at 0) in
+	// every exposition — silent drops were invisible before.
+	droppedNoASPath *obs.Counter
+	droppedNonIPv4  *obs.Counter
+
 	alerts [3]*obs.Counter // pre-resolved by defense.AlertKind
 
 	sessionsAccepted *obs.Counter
@@ -53,6 +59,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m.updates = reg.Counter("monitord_updates_ingested_total", "BGP updates ingested through the pipeline.")
 	m.withdrawals = reg.Counter("monitord_withdrawals_total", "Withdrawals among the ingested updates.")
 	m.mrtRecords = reg.Counter("monitord_mrt_records_total", "MRT archive records ingested.")
+	dropped := reg.CounterVec("monitord_updates_dropped_total", "Updates discarded before ingest, by reason.", "reason")
+	m.droppedNoASPath = dropped.With("no-as-path")
+	m.droppedNonIPv4 = dropped.With("non-ipv4")
 	alerts := reg.CounterVec("monitord_alerts_total", "Monitor alerts raised, by kind.", "kind")
 	for k := defense.AlertOriginChange; k <= defense.AlertNewUpstream; k++ {
 		m.alerts[k] = alerts.With(k.String())

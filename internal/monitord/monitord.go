@@ -73,6 +73,10 @@ type Config struct {
 	QueueDepth int
 	// AlertBuffer is the alert ring capacity (default 4096).
 	AlertBuffer int
+	// ReadBatch bounds how many UPDATEs a session reader decodes per
+	// RecvUpdateBatch call before handing them to the dispatcher
+	// (default 64). 1 degenerates to the old per-message path.
+	ReadBatch int
 
 	// LearnUpdates treats (approximately) the first N ingested updates
 	// as a clean learning window for new-upstream alarms: they train the
@@ -92,6 +96,12 @@ type Config struct {
 	// outbound collector sessions (defaults 500ms and 30s).
 	DialBackoffBase time.Duration
 	DialBackoffMax  time.Duration
+	// DialHealthyAfter is how long an established collector session must
+	// survive — or it must deliver at least one update — before the
+	// reconnect backoff resets to base (default 30s). A peer that
+	// accepts, handshakes, and immediately hangs up keeps backing off
+	// instead of being redialed in a tight loop.
+	DialHealthyAfter time.Duration
 	// Seed derives the backoff jitter (default 1); fixed so tests are
 	// reproducible.
 	Seed int64
@@ -117,6 +127,9 @@ func (c *Config) withDefaults() Config {
 	if out.AlertBuffer <= 0 {
 		out.AlertBuffer = 4096
 	}
+	if out.ReadBatch <= 0 {
+		out.ReadBatch = 64
+	}
 	if out.EstablishTimeout <= 0 {
 		out.EstablishTimeout = 10 * time.Second
 	}
@@ -125,6 +138,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.DialBackoffMax <= 0 {
 		out.DialBackoffMax = 30 * time.Second
+	}
+	if out.DialHealthyAfter <= 0 {
+		out.DialHealthyAfter = 30 * time.Second
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
@@ -135,13 +151,25 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// item is one prefix-level update flowing through the dispatcher.
+// item is one prefix-level update flowing through the dispatcher — or,
+// when batch is non-nil, a whole run of items bound for the same shard
+// (one channel send amortised across a session reader's decode batch;
+// the single-item form keeps the in-process Ingest path allocation-free).
 type item struct {
 	si     *sessionInfo
 	t      time.Time
 	prefix netip.Prefix
-	path   []bgp.ASN // nil = withdraw
+	// path distinguishes nil from empty: nil is a withdrawal, a non-nil
+	// empty slice is an announcement whose AS_PATH attribute was present
+	// but had zero segments (legal; it must not flatten into a phantom
+	// withdrawal).
+	path  []bgp.ASN
+	batch []item
 }
+
+// emptyPath marks an announcement with a present-but-empty AS_PATH; it
+// keeps the nil-vs-empty distinction stable through flattening.
+var emptyPath = []bgp.ASN{}
 
 // sessionInfo is the registry row for one update source.
 type sessionInfo struct {
@@ -367,44 +395,90 @@ func (d *Daemon) closeSession(si *sessionInfo) {
 	}
 }
 
-// readLoop decodes updates from an established session until it fails
-// (peer NOTIFICATION, hold-timer expiry, or Shutdown closing it) and
-// feeds them into the dispatcher stamped with their arrival time.
+// readLoop decodes update batches from an established session until it
+// fails (peer NOTIFICATION, hold-timer expiry, or Shutdown closing it)
+// and hands them to the dispatcher in per-shard runs: one time.Now()
+// stamp and one channel send per (shard, batch) instead of per prefix.
 func (d *Daemon) readLoop(sess *bgpd.Session, si *sessionInfo) {
 	defer d.closeSession(si)
+	batch := make([]bgp.Update, d.cfg.ReadBatch)
+	shardBufs := make([][]item, len(d.shards))
 	for {
-		u, err := sess.RecvUpdate()
+		n, err := sess.RecvUpdateBatch(batch)
+		if n > 0 {
+			now := time.Now()
+			for i := range batch[:n] {
+				u := &batch[i]
+				for _, p := range u.Withdrawn {
+					d.stageItem(shardBufs, item{si: si, t: now, prefix: p})
+				}
+				if len(u.NLRI) == 0 {
+					continue
+				}
+				if !u.Attrs.HasASPath {
+					// NLRI with no AS_PATH carries no usable route; count
+					// the drop instead of discarding silently.
+					d.met.droppedNoASPath.Add(uint64(len(u.NLRI)))
+					continue
+				}
+				path := flattenPath(u.Attrs.ASPath)
+				for _, p := range u.NLRI {
+					d.stageItem(shardBufs, item{si: si, t: now, prefix: p, path: path})
+				}
+			}
+			d.flushShardBufs(shardBufs)
+		}
 		if err != nil {
 			if !errors.Is(err, bgpd.ErrClosed) {
 				d.cfg.Logf("monitord: session %d down: %v", si.id, err)
 			}
 			return
 		}
-		now := time.Now()
-		for _, p := range u.Withdrawn {
-			d.enqueue(item{si: si, t: now, prefix: p})
-		}
-		if len(u.NLRI) > 0 && u.Attrs.HasASPath {
-			path := flattenPath(u.Attrs.ASPath)
-			for _, p := range u.NLRI {
-				d.enqueue(item{si: si, t: now, prefix: p, path: path})
-			}
-		}
 	}
 }
 
+// flattenPath flattens an AS_PATH into the dispatcher's path form. A
+// present-but-empty path (zero segments, or only empty segments)
+// flattens to a non-nil empty slice so it stays an announcement; only a
+// genuinely absent path is nil.
 func flattenPath(p bgp.ASPath) []bgp.ASN {
-	var out []bgp.ASN
+	out := emptyPath
 	for _, s := range p.Segments {
 		out = append(out, s.ASes...)
 	}
 	return out
 }
 
+// stageItem validates one item and appends it to its shard's pending
+// run (dropping non-IPv4 prefixes, counted).
+func (d *Daemon) stageItem(shardBufs [][]item, it item) {
+	if !it.prefix.IsValid() || !it.prefix.Addr().Is4() {
+		d.met.droppedNonIPv4.Add(1)
+		return
+	}
+	shard := d.rib.shardOf(it.prefix)
+	shardBufs[shard] = append(shardBufs[shard], it)
+}
+
+// flushShardBufs sends every staged run to its shard worker as a single
+// batch item and resets the buffers (ownership of each slice passes to
+// the worker).
+func (d *Daemon) flushShardBufs(shardBufs [][]item) {
+	for shard, items := range shardBufs {
+		if len(items) == 0 {
+			continue
+		}
+		shardBufs[shard] = nil
+		d.enqueued.Add(uint64(len(items)))
+		d.shards[shard] <- item{batch: items}
+	}
+}
+
 // enqueue dispatches one item to its prefix's shard, blocking when the
 // shard queue is full (backpressure).
 func (d *Daemon) enqueue(it item) {
 	if !it.prefix.IsValid() || !it.prefix.Addr().Is4() {
+		d.met.droppedNonIPv4.Add(1)
 		return
 	}
 	d.enqueued.Add(1)
@@ -412,40 +486,61 @@ func (d *Daemon) enqueue(it item) {
 }
 
 // worker is one dispatcher shard: RIB fold, monitor check, alert fanout.
+// A channel element is either one item or a whole same-shard batch.
 func (d *Daemon) worker(ch chan item) {
 	defer d.shardWG.Done()
 	for it := range ch {
-		d.rib.apply(it.t, it.si.id, it.prefix, it.path)
-		it.si.updates.Add(1)
-		d.met.updates.Add(1)
-		if len(it.path) == 0 {
-			d.met.withdrawals.Add(1)
-		}
-		ev := bgpsim.UpdateEvent{Time: it.t, Session: it.si.id, Prefix: it.prefix, Path: it.path}
-		n := d.learnSeen.Add(1)
-		if learn := uint64(d.cfg.LearnUpdates); n <= learn {
-			d.mon.Learn(&ev)
-			if n == learn {
-				d.mon.EnableUpstream()
-				d.cfg.Logf("monitord: learning window done (%d updates), upstream alarms on", learn)
+		if it.batch != nil {
+			for i := range it.batch {
+				d.process(&it.batch[i])
 			}
-		} else {
-			for _, a := range d.mon.Observe(&ev) {
-				d.rng.append(a)
-				if int(a.Kind) >= 0 && int(a.Kind) < len(d.met.alerts) {
-					d.met.alerts[a.Kind].Add(1)
-				}
-			}
+			continue
 		}
-		d.processed.Add(1)
+		d.process(&it)
 	}
+}
+
+// process folds one item into the shard's RIB slice and runs the
+// streaming monitor. A nil path is a withdrawal; a non-nil empty path is
+// an announcement with an empty AS_PATH (stored, not withdrawn, and not
+// counted as a withdrawal).
+func (d *Daemon) process(it *item) {
+	d.rib.apply(it.t, it.si.id, it.prefix, it.path)
+	it.si.updates.Add(1)
+	d.met.updates.Add(1)
+	if it.path == nil {
+		d.met.withdrawals.Add(1)
+	}
+	ev := bgpsim.UpdateEvent{Time: it.t, Session: it.si.id, Prefix: it.prefix, Path: it.path}
+	n := d.learnSeen.Add(1)
+	if learn := uint64(d.cfg.LearnUpdates); n <= learn {
+		d.mon.Learn(&ev)
+		if n == learn {
+			d.mon.EnableUpstream()
+			d.cfg.Logf("monitord: learning window done (%d updates), upstream alarms on", learn)
+		}
+	} else {
+		for _, a := range d.mon.Observe(&ev) {
+			d.rng.append(a)
+			if int(a.Kind) >= 0 && int(a.Kind) < len(d.met.alerts) {
+				d.met.alerts[a.Kind].Add(1)
+			}
+		}
+	}
+	d.processed.Add(1)
 }
 
 // RegisterSource allocates a session id for an in-process update source
 // (MRT replay, simulation streams, tests) so its updates are tracked
 // like any BGP peer's.
 func (d *Daemon) RegisterSource(name string, peer bgp.ASN) int {
-	si := d.registerSession(nil, name, "local")
+	return d.registerSourceAs(name, peer, "local")
+}
+
+// registerSourceAs is RegisterSource with an explicit source tag, used
+// by snapshot restore to label replayed sessions "snapshot".
+func (d *Daemon) registerSourceAs(name string, peer bgp.ASN, source string) int {
+	si := d.registerSession(nil, name, source)
 	si.peerAS = peer
 	return si.id
 }

@@ -75,13 +75,15 @@ func (r *liveRIB) shardOf(p netip.Prefix) int {
 
 // apply folds one update into the RIB: an announcement replaces the
 // session's path, a withdrawal (nil path) removes it, and a prefix whose
-// last session withdraws leaves the table entirely.
+// last session withdraws leaves the table entirely. A non-nil empty path
+// is a legal announcement (AS_PATH present with zero segments) and is
+// stored, not treated as a withdrawal.
 func (r *liveRIB) apply(t time.Time, session int, prefix netip.Prefix, path []bgp.ASN) {
 	sh := &r.shards[r.shardOf(prefix)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	routes, ok := sh.trie.Get(prefix)
-	if len(path) == 0 {
+	if path == nil {
 		if !ok {
 			return
 		}
@@ -108,7 +110,9 @@ func snapshotEntry(p netip.Prefix, routes map[int]Route) *RIBEntry {
 	e := &RIBEntry{Prefix: p, Routes: make([]Route, 0, len(routes))}
 	for _, rt := range routes {
 		cp := rt
-		cp.Path = append([]bgp.ASN(nil), rt.Path...)
+		// append onto a non-nil base so an empty-AS_PATH announcement
+		// stays distinguishable from a withdrawal in the snapshot.
+		cp.Path = append([]bgp.ASN{}, rt.Path...)
 		e.Routes = append(e.Routes, cp)
 	}
 	for i := 1; i < len(e.Routes); i++ {

@@ -8,6 +8,10 @@
 #   5. route-engine benchmark: compiled vs legacy ComputeRoutes at paper
 #      scale plus an end-to-end E3 run under each engine, recorded in
 #      results/BENCH_routes.json (compiled must hold a >= 3x speedup)
+#   6. monitord ingest benchmark: in-process and loopback-TCP pipeline
+#      throughput, recorded in results/BENCH_monitord.json (the batched
+#      TCP path must hold >= 3x the 238707 updates/s pre-batching
+#      baseline)
 #
 # Run from anywhere; operates on the repository root. Pass extra
 # arguments (e.g. -count=2) through to the race run.
@@ -81,5 +85,49 @@ END {
 }' "$bench_out" > results/BENCH_routes.json
 rm -f "$bench_out"
 cat results/BENCH_routes.json
+
+echo "== monitord ingest: in-process + loopback TCP (-> results/BENCH_monitord.json) =="
+# The TCP number covers the whole serve-mode session path — batched wire
+# encode (SendUpdates), loopback TCP, the buffered batch reader
+# (RecvUpdateBatch), batched dispatch, live RIB, streaming monitor. It
+# is gated against the pre-batching per-message baseline (PR 3).
+mon_out=$(mktemp)
+go test -run '^$' -bench 'BenchmarkMonitordIngest(TCP)?$' \
+    -benchtime 3s ./internal/monitord/ | tee "$mon_out"
+
+awk -v date="$(date +%Y-%m-%d)" '
+$1 == "BenchmarkMonitordIngest" || $1 ~ /^BenchmarkMonitordIngest-/    { ipns = $3; ips = $5 }
+$1 == "BenchmarkMonitordIngestTCP" || $1 ~ /^BenchmarkMonitordIngestTCP-/ { tns = $3; tps = $5 }
+$1 == "cpu:" { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    if (ips == "" || tps == "") { print "missing benchmark output" > "/dev/stderr"; exit 1 }
+    baseline = 238707
+    speedup = tps / baseline
+    printf "{\n"
+    printf "  \"description\": \"monitord live-pipeline ingest baselines. In-process Ingest() vs the full loopback-TCP session path (batched SendUpdates -> RecvUpdateBatch -> batched dispatch -> RIB + monitor). Reproduce with: results/bench.sh\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"tcp_baseline_updates_per_sec\": %d,\n", baseline
+    printf "  \"required_tcp_speedup\": 3.0,\n"
+    printf "  \"benchmarks\": [\n"
+    printf "    {\n"
+    printf "      \"name\": \"BenchmarkMonitordIngest\",\n"
+    printf "      \"notes\": \"in-process Ingest() into the 8-shard pipeline (RIB apply + streaming monitor), no network\",\n"
+    printf "      \"ns_per_op\": %s,\n", ipns
+    printf "      \"updates_per_sec\": %d\n", ips
+    printf "    },\n"
+    printf "    {\n"
+    printf "      \"name\": \"BenchmarkMonitordIngestTCP\",\n"
+    printf "      \"notes\": \"full path: batched UPDATE bursts over a loopback BGP session into the same pipeline\",\n"
+    printf "      \"ns_per_op\": %s,\n", tns
+    printf "      \"updates_per_sec\": %d,\n", tps
+    printf "      \"speedup_vs_baseline\": %.2f\n", speedup
+    printf "    }\n"
+    printf "  ]\n"
+    printf "}\n"
+    if (speedup < 3.0) { print "FAIL: TCP ingest speedup " speedup "x below 3x baseline" > "/dev/stderr"; exit 1 }
+}' "$mon_out" > results/BENCH_monitord.json
+rm -f "$mon_out"
+cat results/BENCH_monitord.json
 
 echo "OK"

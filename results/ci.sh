@@ -10,12 +10,16 @@
 #   5. go test -race ./...
 #   6. route-engine differential: compiled vs legacy vs naive oracle,
 #      including delta recompilation and the golden engine toggle
-#   7. serve smoke: the loopback monitord end-to-end tests under -race,
-#      plus the observability wiring (-metrics-addr/-pprof) smoke test
-#   8. metrics lint: every Prometheus exposition (monitord, obs, serve)
+#   7. serve smoke: the loopback monitord end-to-end tests under -race
+#      (including ingest-batch-size alert equivalence), plus the
+#      observability wiring (-metrics-addr/-pprof) smoke test
+#   8. RIB snapshot round trip: save/restore through the versioned
+#      binary snapshot must reproduce the RIB exactly and replay
+#      restored routes through the monitor
+#   9. metrics lint: every Prometheus exposition (monitord, obs, serve)
 #      through the internal/testkit linter
-#   9. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
-#  10. per-package coverage floors (see floor() below)
+#  10. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
+#  11. per-package coverage floors (see floor() below)
 #
 # Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
 # skip the fuzz smoke (e.g. on very slow machines).
@@ -59,8 +63,16 @@ echo "== serve smoke (loopback daemon end-to-end, -race) =="
 # The monitord acceptance path: boot `quicksand serve` wiring and the
 # daemon on loopback, replay an interception over a real BGP session,
 # and read alerts/metrics back over HTTP with the race detector on.
-go test -race -count=1 -run 'TestServeSmoke|TestServeObsSmoke|TestServeEndToEnd|TestCollectorReconnect' \
+go test -race -count=1 -run 'TestServeSmoke|TestServeObsSmoke|TestServeEndToEnd|TestCollectorReconnect|TestBatchSizeEquivalence' \
     ./cmd/quicksand/ ./internal/monitord/
+
+echo "== RIB snapshot round trip =="
+# Save the live RIB to the versioned binary snapshot and restore it into
+# a fresh daemon: the table must round-trip bit for bit (including
+# empty-AS_PATH announcements and absent withdrawn prefixes) and the
+# restored routes must replay through the streaming monitor.
+go test -count=1 -run 'TestSnapshotRoundTrip|TestSnapshotFileRoundTrip|TestSnapshotReplaysThroughMonitor|TestSnapshotRejectsGarbage' \
+    ./internal/monitord/
 
 echo "== metrics lint (Prometheus exposition format) =="
 # Every text exposition the repository serves — the monitord daemon's
