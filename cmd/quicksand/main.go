@@ -6,10 +6,18 @@
 //
 //	quicksand [flags] <experiment>
 //	quicksand serve [flags]
+//	quicksand topo [flags]
 //
 // The serve subcommand runs the long-lived monitord daemon instead of a
 // batch experiment: a live BGP listener, MRT ingest, a streaming §5
 // monitor, and an HTTP API (see serve.go and `quicksand serve -h`).
+//
+// The topo subcommand benchmarks Internet-scale route computation: it
+// generates a CAIDA-shaped power-law topology (73K ASes by default),
+// computes a destination shard of route tables, runs E3-style hijack
+// resilience trials, and measures delta recompilation against full
+// recomputation under single-link churn (see topo.go and
+// `quicksand topo -h`).
 //
 // Experiments:
 //
@@ -75,11 +83,18 @@ import (
 )
 
 func main() {
-	// The serve subcommand has its own flag set; dispatch before the
-	// experiment flags are parsed.
+	// The serve and topo subcommands have their own flag sets; dispatch
+	// before the experiment flags are parsed.
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "quicksand serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "topo" {
+		if err := topoCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "quicksand topo:", err)
 			os.Exit(1)
 		}
 		return
@@ -106,6 +121,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: quicksand [-scale small|paper] [-seed N] [-workers N] <experiment>
        quicksand serve [flags]   (long-running route monitor; see serve -h)
+       quicksand topo [flags]    (Internet-scale topology benchmark; see topo -h)
 
 experiments: dataset fig2left fig2right fig3left fig3right
              anonymity hijack intercept defend

@@ -113,6 +113,30 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return err
 }
 
+// ForEachChunk partitions [0, n) into contiguous chunks of at most
+// chunk indices (chunk < 1 meaning 1) and runs fn(lo, hi) for every
+// chunk, with ForEach's worker bound and error semantics. Sharded
+// fan-outs use it to amortise per-task setup — a worker grabs one
+// scratch buffer per chunk instead of one per index — while keeping the
+// contract that results are independent of the worker count.
+func ForEachChunk(workers, n, chunk int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	return ForEach(workers, chunks, func(i int) error {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
 // splitmix64 is the finalizer of Steele et al.'s SplitMix generator —
 // a cheap, high-quality 64-bit mixer.
 func splitmix64(z uint64) uint64 {

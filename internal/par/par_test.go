@@ -113,3 +113,49 @@ func TestTrialSeedDistinct(t *testing.T) {
 		t.Fatal("TrialSeed not deterministic")
 	}
 }
+
+func TestForEachChunkCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ n, chunk int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {17, 4}, {17, 1}, {17, 0}, {3, 100},
+	} {
+		var hits atomic.Int64
+		seen := make([]atomic.Int32, tc.n)
+		err := ForEachChunk(3, tc.n, tc.chunk, func(lo, hi int) error {
+			if lo >= hi || hi > tc.n {
+				return fmt.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, tc.n)
+			}
+			if eff := tc.chunk; eff >= 1 && hi-lo > eff {
+				return fmt.Errorf("chunk [%d, %d) larger than %d", lo, hi, eff)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+				hits.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d chunk=%d: %v", tc.n, tc.chunk, err)
+		}
+		if hits.Load() != int64(tc.n) {
+			t.Fatalf("n=%d chunk=%d: visited %d indices", tc.n, tc.chunk, hits.Load())
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d visited %d times", tc.n, tc.chunk, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachChunkPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachChunk(4, 100, 10, func(lo, hi int) error {
+		if lo == 50 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

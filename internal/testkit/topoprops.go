@@ -1,0 +1,154 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/stats"
+	"quicksand/internal/topology"
+)
+
+// CheckConnected verifies that the AS graph is a single connected
+// component: a route computation at Internet scale is only meaningful
+// when every AS can reach every destination.
+func CheckConnected(g *topology.Graph) error {
+	asns := g.ASNs()
+	if len(asns) == 0 {
+		return fmt.Errorf("empty graph")
+	}
+	seen := make(map[bgp.ASN]bool, len(asns))
+	frontier := []bgp.ASN{asns[0]}
+	seen[asns[0]] = true
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) != len(asns) {
+		return fmt.Errorf("graph not connected: reached %d of %d ASes", len(seen), len(asns))
+	}
+	return nil
+}
+
+// CheckTierInvariants verifies the structural contract of the tiered
+// generators: tiers are 1..3, the tier-1 core is transit-free, every
+// lower-tier AS has at least one provider (no orphans), stubs sell no
+// transit, and the customer-provider digraph is acyclic — a customer
+// cycle would make Gao-Rexford propagation ill-defined.
+func CheckTierInvariants(g *topology.Graph) error {
+	for _, asn := range g.ASNs() {
+		a := g.AS(asn)
+		switch a.Tier {
+		case 1:
+			if len(a.Providers()) != 0 {
+				return fmt.Errorf("tier-1 AS %v buys transit from %v", asn, a.Providers())
+			}
+		case 2, 3:
+			if len(a.Providers()) == 0 {
+				return fmt.Errorf("tier-%d AS %v has no provider", a.Tier, asn)
+			}
+			if a.Tier == 3 && len(a.Customers()) != 0 {
+				return fmt.Errorf("stub %v sells transit to %v", asn, a.Customers())
+			}
+		default:
+			return fmt.Errorf("AS %v has tier %d outside 1..3", asn, a.Tier)
+		}
+	}
+	return checkNoCustomerCycle(g)
+}
+
+// checkNoCustomerCycle runs Kahn's algorithm over the provider->customer
+// digraph; leftover nodes mean a cycle.
+func checkNoCustomerCycle(g *topology.Graph) error {
+	asns := g.ASNs()
+	indeg := make(map[bgp.ASN]int, len(asns)) // number of providers
+	var queue []bgp.ASN
+	for _, asn := range asns {
+		n := len(g.AS(asn).Providers())
+		indeg[asn] = n
+		if n == 0 {
+			queue = append(queue, asn)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, c := range g.AS(u).Customers() {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if done != len(asns) {
+		return fmt.Errorf("customer-provider digraph has a cycle involving %d ASes", len(asns)-done)
+	}
+	return nil
+}
+
+// CheckPowerLawTail tests that the realized customer-degree tail of the
+// graph follows the configured power law: conditioned on degree >=
+// minDegree, a Pareto(alpha) attraction law puts geometrically decaying
+// mass on successive doubling bins [minDegree*2^j, minDegree*2^(j+1)),
+// with ratio 2^-(alpha-1) — independent of the attachment rate, which
+// cancels out of the conditional. The observed bin counts are tested
+// against that analytic law with a chi-square goodness-of-fit test,
+// failing when p < minP. Small expected bins are merged per the usual
+// validity rule.
+func CheckPowerLawTail(g *topology.Graph, alpha float64, minDegree int, minP float64) error {
+	if alpha <= 1 {
+		return fmt.Errorf("exponent %v must be > 1", alpha)
+	}
+	if minDegree < 1 {
+		return fmt.Errorf("minDegree %d must be >= 1", minDegree)
+	}
+	const bins = 16
+	observed := make([]float64, bins)
+	tail := 0
+	for _, asn := range g.ASNs() {
+		deg := len(g.AS(asn).Customers())
+		if deg < minDegree {
+			continue
+		}
+		j := int(math.Log2(float64(deg) / float64(minDegree)))
+		if j >= bins {
+			j = bins - 1
+		}
+		observed[j]++
+		tail++
+	}
+	if tail < 30 {
+		return fmt.Errorf("only %d ASes with customer degree >= %d — tail too thin to test", tail, minDegree)
+	}
+	// P(bin j | tail) = 2^-j(alpha-1) - 2^-(j+1)(alpha-1); the last bin
+	// is open-ended and takes the remaining mass.
+	r := math.Pow(2, -(alpha - 1))
+	expected := make([]float64, bins)
+	for j := 0; j < bins-1; j++ {
+		expected[j] = float64(tail) * math.Pow(r, float64(j)) * (1 - r)
+	}
+	expected[bins-1] = float64(tail) * math.Pow(r, float64(bins-1))
+	obs, exp, err := stats.MergeSmallBins(observed, expected, 5)
+	if err != nil {
+		return fmt.Errorf("merging bins: %w", err)
+	}
+	stat, df, p, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		return fmt.Errorf("chi-square: %w", err)
+	}
+	if p < minP {
+		return fmt.Errorf("degree tail does not match power law alpha=%v: chi2=%.2f df=%d p=%.3g < %g (tail %d ASes, observed %v)",
+			alpha, stat, df, p, minP, tail, observed)
+	}
+	return nil
+}

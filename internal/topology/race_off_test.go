@@ -1,0 +1,8 @@
+//go:build !race
+
+package topology
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 73K-scale tests skip under -race, where instrumentation would slow
+// them ~20x and skew the memory-budget measurement.
+const raceEnabled = false

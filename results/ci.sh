@@ -9,7 +9,8 @@
 #      invariant/differential layers and the golden regression suite)
 #   5. go test -race ./...
 #   6. route-engine differential: compiled vs legacy vs naive oracle,
-#      including delta recompilation and the golden engine toggle
+#      including delta recompilation, the golden engine toggle, and the
+#      subsampled power-law differential at 2K-8K ASes
 #   7. serve smoke: the loopback monitord end-to-end tests under -race
 #      (including ingest-batch-size alert equivalence), plus the
 #      observability wiring (-metrics-addr/-pprof) smoke test
@@ -18,8 +19,12 @@
 #      restored routes through the monitor
 #   9. metrics lint: every Prometheus exposition (monitord, obs, serve)
 #      through the internal/testkit linter
-#  10. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s)
-#  11. per-package coverage floors (see floor() below)
+#  10. 73K topology smoke: generate the full-Internet-scale power-law
+#      graph, compute a destination shard, and delta-recompile one flap
+#      through `quicksand topo`
+#  11. fuzz smoke: every Fuzz* target for FUZZTIME (default 10s),
+#      including FuzzDeltaRecompile (delta ≡ full after every mutation)
+#  12. per-package coverage floors (see floor() below)
 #
 # Run from anywhere; operates on the repository root. Set FUZZTIME=0 to
 # skip the fuzz smoke (e.g. on very slow machines).
@@ -56,7 +61,7 @@ echo "== route-engine differential (compiled vs legacy vs naive oracle) =="
 # (single origin, multi-origin hijack, announcement scoping, ROV
 # filters), across delta recompilations after graph mutations, and in
 # the end-to-end golden pipeline with the engine toggled off.
-go test -count=1 -run 'TestOracleAgrees|TestCompiledEngineAfterMutations|TestCompiledMatchesLegacy|TestCompiledDeltaRecompile|TestGoldenEngineInvariance' \
+go test -count=1 -run 'TestOracleAgrees|TestCompiledEngineAfterMutations|TestCompiledMatchesLegacy|TestCompiledDeltaRecompile|TestGoldenEngineInvariance|TestScaledDifferential|TestDeltaRecompileRandomChurn' \
     ./internal/testkit/ ./internal/topology/ ./cmd/quicksand/
 
 echo "== serve smoke (loopback daemon end-to-end, -race) =="
@@ -80,6 +85,17 @@ echo "== metrics lint (Prometheus exposition format) =="
 # the shared parser/linter in internal/testkit.
 go test -count=1 -run 'TestMetricsLint|TestMetricsGolden|TestExpositionPassesLint|TestServeObsSmoke' \
     ./internal/monitord/ ./internal/obs/ ./cmd/quicksand/
+
+echo "== 73K topology smoke (generate + shard + delta recompile) =="
+# The full-Internet-scale path end to end: generate 73,000 ASes, compute
+# a small destination shard, run a couple of hijack trials, and drive
+# link flaps through delta recompilation. Scale-sensitive invariants
+# (connectivity, memory budget, delta ≡ full) are covered by the test
+# suite; this pins the binary's wiring at real scale.
+topo_bin=$(mktemp)
+go build -o "$topo_bin" ./cmd/quicksand
+"$topo_bin" topo -dests 2 -hijacks 2 -churn 1
+rm -f "$topo_bin"
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
