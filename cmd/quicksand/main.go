@@ -19,6 +19,14 @@
 // recomputation under single-link churn (see topo.go and
 // `quicksand topo -h`).
 //
+// The resilience subcommand runs E10, the Counter-RAPTOR extension: it
+// computes the all-pairs hijack-resilience matrix R(client, guard),
+// compares vanilla bandwidth-weighted guard selection against
+// resilience-weighted selection W(i) = a·R(i) + (1−a)·B(i) head to
+// head under explicit hijack trials, and validates the sampled
+// estimator's error bound at Internet scale (see resilience.go and
+// `quicksand resilience -h`).
+//
 // Experiments:
 //
 //	dataset    E1  — §4 methodology statistics
@@ -99,6 +107,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "resilience" {
+		if err := resilCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "quicksand resilience:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	scale := flag.String("scale", "small", "world scale: small or paper")
 	seed := flag.Int64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "worker goroutines per study (<1 = one per CPU)")
@@ -122,6 +137,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: quicksand [-scale small|paper] [-seed N] [-workers N] <experiment>
        quicksand serve [flags]   (long-running route monitor; see serve -h)
        quicksand topo [flags]    (Internet-scale topology benchmark; see topo -h)
+       quicksand resilience [flags]  (E10 Counter-RAPTOR guard study; see resilience -h)
 
 experiments: dataset fig2left fig2right fig3left fig3right
              anonymity hijack intercept defend

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// resilTestArgs keeps the subcommand tests fast: small world, few
+// clients and trials, a modest big-phase topology.
+var resilTestArgs = []string{"-scale", "small", "-clients", "15", "-trials", "8",
+	"-big", "1500", "-big-guards", "3", "-big-attackers", "30"}
+
+func TestResilCmdReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := resilCmd(resilTestArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"E10", "bandwidth", "short-path", "resilience a=0.50", "resilience a=1.00",
+		"capture margin", "73K estimator", "agreement",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestResilCmdJSON(t *testing.T) {
+	var out bytes.Buffer
+	args := append([]string{"-json"}, resilTestArgs...)
+	if err := resilCmd(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep resilReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Scale != "small" || rep.GuardASes == 0 || rep.MatrixPairs == 0 {
+		t.Errorf("report shape: %+v", rep)
+	}
+	if len(rep.Arms) != 4 {
+		t.Errorf("arms = %d, want vanilla + short-path + 2 alphas", len(rep.Arms))
+	}
+	// The gate bench.sh enforces: resilience weighting strictly lowers
+	// the analytic capture probability at every alpha.
+	if rep.CaptureMargin <= 0 {
+		t.Errorf("capture margin %v, want > 0", rep.CaptureMargin)
+	}
+	if rep.TablesPerSec <= 0 || rep.PairsPerSec <= 0 {
+		t.Errorf("throughput missing: %+v", rep)
+	}
+	if rep.BigASes != 1500 || rep.BigBound <= 0 {
+		t.Errorf("big phase missing: %+v", rep)
+	}
+	if rep.BigWithinBound < 0.9 {
+		t.Errorf("big-phase agreement %v below 0.9", rep.BigWithinBound)
+	}
+}
+
+func TestResilCmdSkipBigPhase(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scale", "small", "-clients", "10", "-trials", "4", "-big", "0", "-json"}
+	if err := resilCmd(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep resilReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BigASes != 0 {
+		t.Errorf("big phase ran despite -big 0: %+v", rep)
+	}
+}
+
+func TestResilCmdFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := resilCmd([]string{"extra"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := resilCmd([]string{"-scale", "huge"}, &out); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := resilCmd([]string{"-a", "nope"}, &out); err == nil {
+		t.Error("bad alpha list accepted")
+	}
+	if err := resilCmd([]string{"-a", ","}, &out); err == nil {
+		t.Error("empty alpha list accepted")
+	}
+	if err := resilCmd([]string{"-scale", "small", "-a", "2.0", "-big", "0"}, &out); err == nil {
+		t.Error("alpha outside [0,1] accepted")
+	}
+	if err := resilCmd([]string{"-scale", "small", "-big", "1500", "-big-guards", "0"}, &out); err == nil {
+		t.Error("-big-guards 0 accepted")
+	}
+	if err := resilCmd([]string{"-scale", "small", "-big", "1500", "-big-attackers", "0"}, &out); err == nil {
+		t.Error("-big-attackers 0 accepted")
+	}
+}

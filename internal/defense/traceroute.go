@@ -2,6 +2,7 @@ package defense
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"quicksand/internal/bgp"
@@ -36,6 +37,11 @@ const (
 	// PathAlertUnreachable fires when probing finds no path at all (a
 	// blackholing hijack swallowed the traffic).
 	PathAlertUnreachable
+	// PathAlertNoBaseline fires when a measurement arrives for a
+	// destination that has no recorded baseline: the prober cannot
+	// classify the path, so it reports that one fact instead of
+	// flagging every hop as a new AS.
+	PathAlertNoBaseline
 )
 
 // String names the alert kind.
@@ -47,6 +53,8 @@ func (k PathAlertKind) String() string {
 		return "path-length-jump"
 	case PathAlertUnreachable:
 		return "unreachable"
+	case PathAlertNoBaseline:
+		return "no-baseline"
 	}
 	return fmt.Sprintf("PathAlertKind(%d)", int(k))
 }
@@ -101,8 +109,14 @@ func (p *PathProber) Check(at time.Time, dst bgp.ASN, path []bgp.ASN) []PathAler
 	if len(path) == 0 {
 		return []PathAlert{{Time: at, Dst: dst, Kind: PathAlertUnreachable}}
 	}
-	var alerts []PathAlert
 	set := p.seen[dst]
+	if len(set) == 0 {
+		// No baseline for dst: every hop would look like a new AS and
+		// a single probe would flood len(path) false alarms. Report the
+		// missing baseline once instead.
+		return []PathAlert{{Time: at, Dst: dst, Kind: PathAlertNoBaseline}}
+	}
+	var alerts []PathAlert
 	for _, a := range path {
 		if !set[a] {
 			alerts = append(alerts, PathAlert{Time: at, Dst: dst, Kind: PathAlertNewAS, Observed: a})
@@ -122,14 +136,6 @@ func (p *PathProber) KnownASes(dst bgp.ASN) []bgp.ASN {
 	for a := range set {
 		out = append(out, a)
 	}
-	sortASNs(out)
+	slices.Sort(out)
 	return out
-}
-
-func sortASNs(s []bgp.ASN) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

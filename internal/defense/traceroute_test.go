@@ -121,3 +121,38 @@ func TestProberDetectsInterception(t *testing.T) {
 	}
 	t.Skip("no effective interception with a captured stub for this seed")
 }
+
+// Regression: a probe against a destination with no recorded baseline
+// must report the missing baseline once — not flag every hop as a new
+// AS. Before the fix, a cold-start prober turned a single clean
+// measurement into len(path) false PathAlertNewAS alarms.
+func TestPathProberNoBaseline(t *testing.T) {
+	p := NewPathProber()
+	dst := bgp.ASN(24940)
+	path := []bgp.ASN{100, 3320, 1299, 24940}
+	alerts := p.Check(mt0, dst, path)
+	if len(alerts) != 1 {
+		t.Fatalf("cold prober raised %d alerts, want exactly 1: %v", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.Kind != PathAlertNoBaseline || a.Dst != dst || !a.Time.Equal(mt0) {
+		t.Fatalf("alert = %+v, want no-baseline for %v", a, dst)
+	}
+	if got := a.Kind.String(); got != "no-baseline" {
+		t.Fatalf("Kind.String() = %q", got)
+	}
+	// The check must not have polluted the baseline: after a real
+	// Baseline call the same path is clean and a detour still alarms.
+	p.Baseline(dst, path)
+	if alerts := p.Check(mt0, dst, path); len(alerts) != 0 {
+		t.Fatalf("baselined path alerted: %v", alerts)
+	}
+	if alerts := p.Check(mt0, dst, []bgp.ASN{100, 666, 24940}); len(alerts) != 1 {
+		t.Fatalf("detour after baseline: %v", alerts)
+	}
+	// A blackhole still wins over the no-baseline report.
+	fresh := NewPathProber()
+	if alerts := fresh.Check(mt0, dst, nil); len(alerts) != 1 || alerts[0].Kind != PathAlertUnreachable {
+		t.Fatalf("blackhole on cold prober: %v", alerts)
+	}
+}

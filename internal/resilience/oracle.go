@@ -1,0 +1,42 @@
+package resilience
+
+import (
+	"fmt"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/topology"
+)
+
+// ExactR computes R(client, guard) by brute force on the legacy
+// map-based route engine: one ComputeRoutesFiltered call per candidate
+// attacker, reading only the client's row. It shares no code with the
+// sharded engine — Compute goes through the compiled CSR snapshot and
+// accumulates all clients at once — so the two agreeing on every pair
+// is a real differential check, not a tautology.
+func ExactR(g *topology.Graph, client, guard bgp.ASN) (float64, error) {
+	if g.AS(client) == nil {
+		return 0, fmt.Errorf("resilience: client AS %v not in graph", client)
+	}
+	if g.AS(guard) == nil {
+		return 0, fmt.Errorf("resilience: guard AS %v not in graph", guard)
+	}
+	total, captured := 0, 0
+	for _, attacker := range g.ASNs() {
+		if attacker == guard || attacker == client {
+			continue
+		}
+		rt, err := g.ComputeRoutesFiltered(nil,
+			topology.Origin{ASN: guard}, topology.Origin{ASN: attacker})
+		if err != nil {
+			return 0, err
+		}
+		total++
+		if r, ok := rt[client]; ok && r.Origin == attacker {
+			captured++
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return 1 - float64(captured)/float64(total), nil
+}

@@ -1,0 +1,52 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/resilience"
+	"quicksand/internal/topology"
+)
+
+// CheckResilienceExact computes an exact all-pairs resilience matrix
+// with the sharded engine and diffs (client, guard) entries against the
+// independent brute-force oracle (resilience.ExactR, which walks the
+// legacy map-based route computation attacker by attacker). It returns
+// the first disagreement. This is the new-subsystem analogue of
+// CheckRoutesAgainstOracle: the production path and the reference
+// differ in engine, sharding, and accumulation order, so agreement is
+// strong evidence the matrix is right.
+//
+// The oracle costs one full route table per attacker *per pair*, so
+// checking every client squares the graph size; pass a client subset to
+// bound the work (nil checks every AS — only sane on tiny graphs).
+func CheckResilienceExact(g *topology.Graph, guards []bgp.ASN, clients []bgp.ASN, workers int) error {
+	mx, err := resilience.Compute(g, resilience.Config{Guards: guards, Workers: workers}, nil)
+	if err != nil {
+		return fmt.Errorf("testkit: resilience engine: %w", err)
+	}
+	if !mx.Exact() {
+		return fmt.Errorf("testkit: matrix with %d attackers not exact", mx.Attackers())
+	}
+	if clients == nil {
+		clients = g.ASNs()
+	}
+	for _, guard := range guards {
+		for _, client := range clients {
+			got, ok := mx.R(client, guard)
+			if !ok {
+				return fmt.Errorf("testkit: matrix has no entry for client %v guard %v", client, guard)
+			}
+			want, err := resilience.ExactR(g, client, guard)
+			if err != nil {
+				return fmt.Errorf("testkit: oracle client %v guard %v: %w", client, guard, err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				return fmt.Errorf("testkit: R(client %v, guard %v) = %v, oracle says %v",
+					client, guard, got, want)
+			}
+		}
+	}
+	return nil
+}

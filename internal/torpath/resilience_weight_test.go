@@ -1,0 +1,183 @@
+package torpath
+
+import (
+	"testing"
+	"time"
+
+	"quicksand/internal/stats"
+	"quicksand/internal/torconsensus"
+)
+
+// TestGuardSetExpiryBoundary pins the rotation boundary: a guard set
+// expires exactly AT its lifetime, not one tick after. The E7 rotation
+// study counts exposure windows per rotation; an off-by-one here would
+// silently stretch every window.
+func TestGuardSetExpiryBoundary(t *testing.T) {
+	gs := &GuardSet{Chosen: testNow, Lifetime: DefaultGuardLifetime}
+	if gs.Expired(testNow.Add(DefaultGuardLifetime - time.Nanosecond)) {
+		t.Fatal("guard set expired one tick before its lifetime")
+	}
+	if !gs.Expired(testNow.Add(DefaultGuardLifetime)) {
+		t.Fatal("guard set not expired exactly at its lifetime")
+	}
+	if !gs.Expired(testNow.Add(DefaultGuardLifetime + time.Nanosecond)) {
+		t.Fatal("guard set not expired past its lifetime")
+	}
+}
+
+// synthResilience fabricates per-relay resilience values decorrelated
+// from bandwidth (a deterministic hash of the identity), so the
+// chi-square test below has power to tell W(i) apart from B(i).
+func synthResilience(candidates []*torconsensus.Relay) func(r *torconsensus.Relay) (float64, bool) {
+	vals := make(map[string]float64, len(candidates))
+	for _, r := range candidates {
+		var h uint32 = 2166136261
+		for _, c := range []byte(r.Identity) {
+			h = (h ^ uint32(c)) * 16777619
+		}
+		vals[r.Identity] = float64(h%1000) / 999
+	}
+	return func(r *torconsensus.Relay) (float64, bool) {
+		v, ok := vals[r.Identity]
+		return v, ok
+	}
+}
+
+func TestResilienceWeightValidation(t *testing.T) {
+	cons := genConsensus(t)
+	guards := cons.Guards()
+	res := synthResilience(guards)
+	for _, a := range []float64{-0.01, 1.01, 2} {
+		if _, err := ResilienceWeight(guards, a, res); err == nil {
+			t.Errorf("a=%v accepted", a)
+		}
+	}
+	// a=0 must reproduce the bandwidth-proportional distribution: the
+	// weight ratio of any two relays equals their bandwidth ratio.
+	w, err := ResilienceWeight(guards, 0, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := guards[0], guards[1]
+	if w(r0)*float64(r1.Bandwidth) != w(r1)*float64(r0.Bandwidth) {
+		t.Fatalf("a=0 weights not proportional to bandwidth: %v/%d vs %v/%d",
+			w(r0), r0.Bandwidth, w(r1), r1.Bandwidth)
+	}
+	// Unknown resilience is conservative: R=0, so at a=1 the relay is
+	// unselectable rather than boosted.
+	w1, err := ResilienceWeight(guards, 1, func(*torconsensus.Relay) (float64, bool) { return 0.7, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1(guards[0]) != 0 {
+		t.Fatalf("unknown resilience at a=1 weighted %v, want 0", w1(guards[0]))
+	}
+}
+
+// drawHist draws single weighted guards n times and histograms the
+// picks over the candidate order.
+func drawHist(t *testing.T, cons *torconsensus.Consensus, seed int64, n int, w WeightFn) []float64 {
+	t.Helper()
+	guards := cons.Guards()
+	idx := make(map[string]int, len(guards))
+	for i, g := range guards {
+		idx[g.Identity] = i
+	}
+	s := NewSelector(cons, seed)
+	obs := make([]float64, len(guards))
+	for i := 0; i < n; i++ {
+		gs, err := s.PickGuardsFn(1, testNow, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs[idx[gs.Guards[0].Identity]]++
+	}
+	return obs
+}
+
+// expectedHist converts weights into expected counts for n draws.
+func expectedHist(guards []*torconsensus.Relay, w WeightFn, n int) []float64 {
+	exp := make([]float64, len(guards))
+	var total float64
+	for _, g := range guards {
+		total += w(g)
+	}
+	for i, g := range guards {
+		exp[i] = float64(n) * w(g) / total
+	}
+	return exp
+}
+
+// TestResilienceWeightedDrawsMatchW checks the sampler end to end: the
+// empirical single-guard pick distribution under W(i) = a·R + (1−a)·B
+// must pass a chi-square test against W(i) itself — and, as a negative
+// control, must *fail* it against the distribution for the wrong a
+// (pure bandwidth), proving the test has the power to see the
+// resilience term.
+func TestResilienceWeightedDrawsMatchW(t *testing.T) {
+	cons := genConsensus(t)
+	guards := cons.Guards()
+	const a, draws = 0.8, 12000
+	w, err := ResilienceWeight(guards, a, synthResilience(guards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := drawHist(t, cons, 11, draws, w)
+
+	check := func(exp []float64) float64 {
+		t.Helper()
+		o, e, err := stats.MergeSmallBins(obs, exp, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, p, err := stats.ChiSquare(o, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if p := check(expectedHist(guards, w, draws)); p < 0.01 {
+		t.Fatalf("draws reject their own W(i): p = %g", p)
+	}
+	wrong, err := ResilienceWeight(guards, 0, synthResilience(guards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := check(expectedHist(guards, wrong, draws)); p > 1e-6 {
+		t.Fatalf("negative control: bandwidth-only expectation not rejected (p = %g)", p)
+	}
+}
+
+// TestPickGuardsFnExclusion checks that the weighted picker preserves
+// Tor's exclusion rules and fails cleanly when no positive-weight relay
+// remains.
+func TestPickGuardsFnExclusion(t *testing.T) {
+	cons := genConsensus(t)
+	s := NewSelector(cons, 4)
+	w, err := ResilienceWeight(cons.Guards(), 0.5, synthResilience(cons.Guards()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := s.PickGuardsFn(3, testNow, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i, g := range gs.Guards {
+		if seen[g.Identity] {
+			t.Fatal("duplicate guard")
+		}
+		seen[g.Identity] = true
+		for j := i + 1; j < len(gs.Guards); j++ {
+			if sameSlash16(g.Addr, gs.Guards[j].Addr) {
+				t.Fatalf("guards %v and %v share a /16", g.Addr, gs.Guards[j].Addr)
+			}
+		}
+	}
+	if _, err := s.PickGuardsFn(0, testNow, w); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := s.PickGuardsFn(1, testNow, func(*torconsensus.Relay) float64 { return 0 }); err == nil {
+		t.Fatal("all-zero weights produced a guard")
+	}
+}

@@ -84,6 +84,107 @@ func (s *Selector) WeightedPick(candidates []*torconsensus.Relay, exclude []*tor
 	return nil
 }
 
+// WeightFn maps a candidate relay to a non-negative selection weight.
+// A weight of zero (or less) makes the relay unselectable.
+type WeightFn func(r *torconsensus.Relay) float64
+
+// WeightedPickFn draws one relay with probability proportional to
+// weight(r), under the same exclusion rules as WeightedPick. It returns
+// nil when no eligible relay has positive weight. The draw consumes one
+// value from the selector's deterministic RNG stream.
+func (s *Selector) WeightedPickFn(candidates []*torconsensus.Relay, exclude []*torconsensus.Relay, weight WeightFn) *torconsensus.Relay {
+	var total float64
+	for _, r := range candidates {
+		if conflicts(r, exclude) {
+			continue
+		}
+		if w := weight(r); w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	pick := s.rng.Float64() * total
+	var last *torconsensus.Relay
+	for _, r := range candidates {
+		if conflicts(r, exclude) {
+			continue
+		}
+		w := weight(r)
+		if w <= 0 {
+			continue
+		}
+		if pick < w {
+			return r
+		}
+		pick -= w
+		last = r
+	}
+	// Float accumulation can leave a sliver past the last weight; the
+	// draw belongs to the final eligible relay.
+	return last
+}
+
+// PickGuardsFn selects n entry guards like PickGuards but with draws
+// weighted by weight instead of raw bandwidth, preserving the exclusion
+// rules (distinct relays, no shared /16).
+func (s *Selector) PickGuardsFn(n int, now time.Time, weight WeightFn) (*GuardSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("torpath: need at least one guard, asked for %d", n)
+	}
+	guards := s.cons.Guards()
+	set := &GuardSet{Chosen: now, Lifetime: DefaultGuardLifetime}
+	for len(set.Guards) < n {
+		g := s.WeightedPickFn(guards, set.Guards, weight)
+		if g == nil {
+			return nil, fmt.Errorf("torpath: only %d eligible guards, wanted %d", len(set.Guards), n)
+		}
+		set.Guards = append(set.Guards, g)
+	}
+	return set, nil
+}
+
+// ResilienceWeight builds Counter-RAPTOR's guard weighting
+//
+//	W(i) = a·R(i) + (1−a)·B(i)
+//
+// over the candidate set: R(i) ∈ [0,1] is the client's hijack
+// resilience toward the relay's AS (from resilience(r)) and B(i) is the
+// relay's consensus bandwidth normalised by the maximum over
+// candidates, so both terms share the [0,1] scale and a=0 reproduces
+// the vanilla bandwidth-proportional distribution exactly. Relays whose
+// resilience is unknown (ok=false) get R=0 — the conservative choice:
+// an unmapped relay is never boosted above its bandwidth share. The
+// weights are resolved once, so the returned WeightFn is cheap per
+// draw.
+func ResilienceWeight(candidates []*torconsensus.Relay, a float64, resilience func(r *torconsensus.Relay) (float64, bool)) (WeightFn, error) {
+	if a < 0 || a > 1 {
+		return nil, fmt.Errorf("torpath: resilience weight a=%v outside [0,1]", a)
+	}
+	var maxBW uint64
+	for _, r := range candidates {
+		if r.Bandwidth > maxBW {
+			maxBW = r.Bandwidth
+		}
+	}
+	weights := make(map[string]float64, len(candidates))
+	for _, r := range candidates {
+		var b float64
+		if maxBW > 0 {
+			b = float64(r.Bandwidth) / float64(maxBW)
+		}
+		var ri float64
+		if resilience != nil {
+			if v, ok := resilience(r); ok {
+				ri = min(max(v, 0), 1)
+			}
+		}
+		weights[r.Identity] = a*ri + (1-a)*b
+	}
+	return func(r *torconsensus.Relay) float64 { return weights[r.Identity] }, nil
+}
+
 // SelectionProb returns each candidate relay's stationary selection
 // probability (bandwidth over total bandwidth), keyed by identity. The
 // anonymity analyses use this to weight per-guard exposure.

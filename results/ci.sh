@@ -11,6 +11,9 @@
 #   6. route-engine differential: compiled vs legacy vs naive oracle,
 #      including delta recompilation, the golden engine toggle, and the
 #      subsampled power-law differential at 2K-8K ASes
+#  6b. resilience differential under -race: the sharded Counter-RAPTOR
+#      engine vs the brute-force oracle, the sampled estimator vs the
+#      exact matrix, and worker-count invariance
 #   7. serve smoke: the loopback monitord end-to-end tests under -race
 #      (including ingest-batch-size alert equivalence), plus the
 #      observability wiring (-metrics-addr/-pprof) smoke test
@@ -63,6 +66,15 @@ echo "== route-engine differential (compiled vs legacy vs naive oracle) =="
 # the end-to-end golden pipeline with the engine toggled off.
 go test -count=1 -run 'TestOracleAgrees|TestCompiledEngineAfterMutations|TestCompiledMatchesLegacy|TestCompiledDeltaRecompile|TestGoldenEngineInvariance|TestScaledDifferential|TestDeltaRecompileRandomChurn' \
     ./internal/testkit/ ./internal/topology/ ./cmd/quicksand/
+
+echo "== resilience differential (sharded engine vs brute-force oracle, -race) =="
+# The Counter-RAPTOR matrix must agree with the independent brute-force
+# oracle on every checked (client, guard) pair, the sampled estimator
+# must land within its reported 95% bound against the exact matrix, and
+# results must be bit-identical for any worker count — all under the
+# race detector (the engine shards by guard over internal/par).
+go test -race -count=1 -run 'TestExactMatchesOracle|TestSampledWithinBound|TestWorkerInvariance|TestEngineCacheVersioning' \
+    ./internal/resilience/
 
 echo "== serve smoke (loopback daemon end-to-end, -race) =="
 # The monitord acceptance path: boot `quicksand serve` wiring and the
@@ -121,6 +133,7 @@ function floor(pkg) {
     if (pkg == "quicksand/internal/monitord") return 80 # daemon floor (required)
     if (pkg == "quicksand/internal/obs") return 80      # observability floor (required)
     if (pkg == "quicksand/internal/topology") return 90 # route-engine floor (required)
+    if (pkg == "quicksand/internal/resilience") return 85 # resilience engine floor (required)
     return 80                                          # library packages
 }
 $1 == "ok" {

@@ -25,11 +25,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sync"
 
 	"quicksand/internal/analysis"
 	"quicksand/internal/bgp"
 	"quicksand/internal/bgpsim"
+	"quicksand/internal/resilience"
 	"quicksand/internal/topology"
 	"quicksand/internal/torconsensus"
 )
@@ -108,6 +110,9 @@ type World struct {
 
 	routeCacheOnce sync.Once
 	routeCache     *topology.RouteCache
+
+	resilienceOnce sync.Once
+	resilienceEng  *resilience.Engine
 }
 
 // RouteCache returns the world's shared per-destination route cache,
@@ -119,6 +124,32 @@ func (w *World) RouteCache() *topology.RouteCache {
 		w.routeCache = topology.NewRouteCache(w.Topology)
 	})
 	return w.routeCache
+}
+
+// ResilienceEngine returns the world's shared Counter-RAPTOR resilience
+// engine, created on first use. Like RouteCache, its matrices are
+// cached per topology version, so the E10 study and the resilience
+// subcommand share one all-pairs computation per configuration.
+func (w *World) ResilienceEngine() *resilience.Engine {
+	w.resilienceOnce.Do(func() {
+		w.resilienceEng = resilience.NewEngine(w.Topology)
+	})
+	return w.resilienceEng
+}
+
+// GuardASes returns the distinct ASes hosting Guard-flagged relays,
+// ascending — the destination set of the resilience matrix.
+func (w *World) GuardASes() []bgp.ASN {
+	seen := make(map[bgp.ASN]bool)
+	var out []bgp.ASN
+	for _, r := range w.Consensus.Guards() {
+		if asn, ok := w.RelayAS(r.Addr); ok && !seen[asn] {
+			seen[asn] = true
+			out = append(out, asn)
+		}
+	}
+	slices.Sort(out)
+	return out
 }
 
 // TorPrefixSet returns the Tor prefixes as a set, the shape the churn
