@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksand/internal/testkit"
+)
+
+func shortLoadtestOpts() *loadtestOpts {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	o := loadtestFlags(fs)
+	o.instances = 2
+	o.sessions = 1
+	o.rate = 2000
+	o.duration = 400 * time.Millisecond
+	o.tracerInterval = 20 * time.Millisecond
+	return o
+}
+
+// TestLoadtestSmoke is the CI gate for the fleet harness: a short run
+// against two instances must detect tracers, aggregate both instances'
+// metrics into a lint-clean exposition, and report positive throughput.
+func TestLoadtestSmoke(t *testing.T) {
+	rep, snap, err := runLoadtest(shortLoadtestOpts(), os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TracersDetected < 1 {
+		t.Errorf("no tracer detected (%d injected)", rep.TracersInjected)
+	}
+	if rep.UpdatesSent == 0 || rep.UpdatesPerSec <= 0 {
+		t.Errorf("no load delivered: %+v", rep)
+	}
+	if rep.DetectP50 <= 0 || rep.DetectP99 < rep.DetectP50 {
+		t.Errorf("aggregated detection quantiles implausible: p50=%v p99=%v",
+			rep.DetectP50, rep.DetectP99)
+	}
+	for stage, p99 := range rep.StageP99 {
+		if p99 <= 0 {
+			t.Errorf("stage %q p99 = %v, want > 0 under load", stage, p99)
+		}
+	}
+
+	// The aggregated exposition must itself be a valid scrape target.
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if errs := testkit.LintProm(buf.String()); len(errs) != 0 {
+		t.Fatalf("aggregated fleet exposition fails lint:\n%v", errs)
+	}
+	// Both instances' ingest counters must have been summed: the merged
+	// counter equals the total the harness sent (plus tracers).
+	if got, n := snap.Sum("monitord_updates_ingested_total", nil); n == 0 || uint64(got) < rep.UpdatesSent {
+		t.Errorf("aggregated ingest counter = %v (families %d), want >= %d sent",
+			got, n, rep.UpdatesSent)
+	}
+}
+
+func TestLoadtestCmdJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := loadtestCmd([]string{
+		"-instances", "1", "-sessions", "1", "-rate", "2000",
+		"-duration", "300ms", "-tracer-interval", "25ms",
+		"-min-detected", "1", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadtestReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.TracersDetected < 1 || rep.UpdatesPerSec <= 0 {
+		t.Errorf("implausible record: %+v", rep)
+	}
+}
+
+func TestLoadtestCmdErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := loadtestCmd([]string{"-instances", "0"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "at least one instance") {
+		t.Errorf("instances=0: err = %v", err)
+	}
+	if err := loadtestCmd([]string{"extra"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray args: err = %v", err)
+	}
+	// A detection floor higher than any short run can reach must fail.
+	err := loadtestCmd([]string{
+		"-instances", "1", "-sessions", "1", "-duration", "100ms",
+		"-tracer-interval", "30ms", "-min-detected", "100000",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "tracers detected") {
+		t.Errorf("min-detected gate: err = %v", err)
+	}
+}
+
+func TestLoadtestReportText(t *testing.T) {
+	rep := &loadtestReport{
+		Instances: 2, Sessions: 4, RateCap: 1000, DurationSec: 3,
+		UpdatesSent: 12000, UpdatesPerSec: 4000,
+		TracersInjected: 60, TracersDetected: 59, TracersLost: 1,
+		InjectP50: 0.002, InjectP95: 0.004, InjectP99: 0.010,
+		DetectP50: 0.0005, DetectP99: 0.002,
+		StageP99: map[string]float64{"read": 1e-5, "dispatch": 2e-4, "apply": 3e-6, "monitor": -1},
+	}
+	var out bytes.Buffer
+	printLoadtestReport(&out, rep)
+	text := out.String()
+	for _, want := range []string{
+		"2 instance(s) x 4 load session(s)",
+		"4000 updates/s sustained",
+		"60 injected, 59 detected, 1 lost",
+		"p99=10ms",
+		"monitor=n/a",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

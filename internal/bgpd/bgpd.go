@@ -394,18 +394,35 @@ func (s *Session) RecvUpdate() (*bgp.Update, error) {
 // enforced on the blocking read, and NOTIFICATION/close semantics match
 // RecvUpdate.
 func (s *Session) RecvUpdateBatch(dst []bgp.Update) (int, error) {
+	n, _, err := s.recvUpdateBatch(dst)
+	return n, err
+}
+
+// RecvUpdateBatchStamped is RecvUpdateBatch plus a batch-start
+// timestamp: time.Now() taken the moment the first UPDATE of the batch
+// came off the socket, before any of the batch was decoded. Latency
+// measured from this stamp (it carries a monotonic reading) never
+// under-reports: every update in the batch arrived at or after it, so
+// per-update skew is bounded by the batch decode time rather than by
+// the whole batch's socket dwell. The stamp is zero when n == 0.
+func (s *Session) RecvUpdateBatchStamped(dst []bgp.Update) (int, time.Time, error) {
+	return s.recvUpdateBatch(dst)
+}
+
+func (s *Session) recvUpdateBatch(dst []bgp.Update) (int, time.Time, error) {
+	var start time.Time
 	if len(dst) == 0 {
-		return 0, nil
+		return 0, start, nil
 	}
 	n := 0
 	for {
 		select {
 		case <-s.closed:
-			return n, ErrClosed
+			return n, start, ErrClosed
 		default:
 		}
 		if n > 0 && !s.bufferedMessage() {
-			return n, nil
+			return n, start, nil
 		}
 		timeout := s.holdTime
 		if n > 0 {
@@ -416,28 +433,31 @@ func (s *Session) RecvUpdateBatch(dst []bgp.Update) (int, error) {
 			if errors.Is(err, ErrHoldExpired) {
 				s.notifyAndClose(bgp.NotifHoldTimerExpired, 0, nil)
 			}
-			return n, err
+			return n, start, err
 		}
 		switch msgType {
 		case bgp.TypeKeepalive:
 			continue
 		case bgp.TypeUpdate:
+			if n == 0 {
+				start = time.Now()
+			}
 			if err := bgp.ParseUpdateInto(raw, s.as4, &dst[n]); err != nil {
-				return n, err
+				return n, start, err
 			}
 			n++
 			if n == len(dst) {
-				return n, nil
+				return n, start, nil
 			}
 		case bgp.TypeNotification:
 			nf, perr := bgp.ParseNotification(raw)
 			if perr != nil {
-				return n, perr
+				return n, start, perr
 			}
 			s.closeConn()
-			return n, fmt.Errorf("%w: code %d subcode %d", ErrNotification, nf.Code, nf.Subcode)
+			return n, start, fmt.Errorf("%w: code %d subcode %d", ErrNotification, nf.Code, nf.Subcode)
 		default:
-			return n, fmt.Errorf("bgpd: unexpected message type %d", msgType)
+			return n, start, fmt.Errorf("bgpd: unexpected message type %d", msgType)
 		}
 	}
 }
@@ -469,6 +489,30 @@ func (s *Session) SendUpdates(us []*bgp.Update) error {
 		return err
 	}
 	for range us {
+		s.met.MsgOut(bgp.TypeUpdate)
+	}
+	return nil
+}
+
+// SendRaw transmits a pre-encoded burst of n UPDATE messages in one
+// write. raw must hold complete BGP messages produced with the
+// session's negotiated AS_PATH encoding (bgp.Update.AppendMessage with
+// AS4()); n is the message count, for accounting. Load generators
+// encode each burst once and replay it across iterations, keeping the
+// sender cheap enough to saturate the receiver from the same machine.
+func (s *Session) SendRaw(raw []byte, n int) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := s.writeRaw(raw, 0); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
 		s.met.MsgOut(bgp.TypeUpdate)
 	}
 	return nil

@@ -1,0 +1,273 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/monitord"
+)
+
+func monitordSpeaker() bgpd.Config {
+	return bgpd.Config{ASN: 64500, BGPID: netip.MustParseAddr("198.51.100.1")}
+}
+
+var watched = netip.MustParsePrefix("10.99.0.0/16")
+
+// newDaemon starts one in-process monitord instance watching `watched`.
+func newDaemon(t *testing.T) *monitord.Daemon {
+	t.Helper()
+	d, err := monitord.New(monitord.Config{
+		Watched:    map[netip.Prefix]bgp.ASN{watched: 64496},
+		Speaker:    monitordSpeaker(),
+		ListenBGP:  "127.0.0.1:0",
+		ListenHTTP: "127.0.0.1:0",
+		Shards:     4,
+		ReadBatch:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return d
+}
+
+func baseConfig(targets ...Target) Config {
+	return Config{
+		Targets:        targets,
+		Sessions:       2,
+		Duration:       300 * time.Millisecond,
+		TracerInterval: 20 * time.Millisecond,
+		Settle:         5 * time.Second,
+		Seed:           1,
+		WatchedPrefix:  watched,
+		BurstSize:      64,
+	}
+}
+
+// TestRunFleetInProcess is the end-to-end harness test: two daemons,
+// two load sessions each, tracers on both, every tracer detected with a
+// positive latency and ordered percentiles.
+func TestRunFleetInProcess(t *testing.T) {
+	d1, d2 := newDaemon(t), newDaemon(t)
+	cfg := baseConfig(
+		Target{Name: "a", BGPAddr: d1.BGPAddr(), Alerts: d1},
+		Target{Name: "b", BGPAddr: d2.BGPAddr(), Alerts: d2},
+	)
+	cfg.Rate = 5000 // per session; keep the 1-CPU CI box responsive
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesSent == 0 || res.UpdatesPerSec <= 0 {
+		t.Errorf("no load delivered: sent=%d rate=%v", res.UpdatesSent, res.UpdatesPerSec)
+	}
+	if res.TracersInjected < 2 {
+		t.Errorf("tracers injected = %d, want >= 2", res.TracersInjected)
+	}
+	if res.TracersLost != 0 || res.TracersDetected != res.TracersInjected {
+		t.Errorf("lost %d of %d tracers at trivial load", res.TracersLost, res.TracersInjected)
+	}
+	if !(res.P50 > 0 && res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Errorf("percentiles not ordered/positive: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	if len(res.Targets) != 2 {
+		t.Fatalf("got %d target results, want 2", len(res.Targets))
+	}
+	for _, tr := range res.Targets {
+		if tr.UpdatesSent == 0 || tr.TracersDetected != tr.TracersInjected {
+			t.Errorf("target %s: sent=%d detected=%d/%d",
+				tr.Name, tr.UpdatesSent, tr.TracersDetected, tr.TracersInjected)
+		}
+		for _, l := range tr.Latencies {
+			if l <= 0 {
+				t.Errorf("target %s: non-positive latency %v", tr.Name, l)
+			}
+		}
+	}
+}
+
+// TestRunOverHTTPAlerts runs the same harness polling alerts through
+// the real /alerts HTTP API instead of the in-process ring.
+func TestRunOverHTTPAlerts(t *testing.T) {
+	d := newDaemon(t)
+	src := &HTTPAlerts{Base: "http://" + d.HTTPAddr()}
+	cfg := baseConfig(Target{BGPAddr: d.BGPAddr(), Alerts: src})
+	cfg.Sessions = 1
+	cfg.Rate = 2000
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracersDetected == 0 || res.TracersDetected != res.TracersInjected {
+		t.Errorf("HTTP alert source: detected %d/%d", res.TracersDetected, res.TracersInjected)
+	}
+	if n := src.Errs.Load(); n != 0 {
+		t.Errorf("HTTP alert source recorded %d poll errors against a healthy daemon", n)
+	}
+	if res.Targets[0].Name != d.BGPAddr() {
+		t.Errorf("unnamed target not defaulted to BGP address: %q", res.Targets[0].Name)
+	}
+}
+
+func TestHTTPAlertsPollFailures(t *testing.T) {
+	t.Run("unreachable", func(t *testing.T) {
+		src := &HTTPAlerts{Base: "http://127.0.0.1:1"}
+		alerts, next, _ := src.Alerts(7, 10)
+		if len(alerts) != 0 || next != 7 || src.Errs.Load() != 1 {
+			t.Errorf("got %d alerts, next %d, errs %d; want cursor held at 7 with one error",
+				len(alerts), next, src.Errs.Load())
+		}
+	})
+	t.Run("http-error", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+		}))
+		defer srv.Close()
+		src := &HTTPAlerts{Base: srv.URL}
+		if _, next, _ := src.Alerts(3, 0); next != 3 || src.Errs.Load() != 1 {
+			t.Errorf("next=%d errs=%d after 503, want cursor held with one error", next, src.Errs.Load())
+		}
+	})
+	t.Run("bad-json", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("{not json"))
+		}))
+		defer srv.Close()
+		src := &HTTPAlerts{Base: srv.URL}
+		if _, next, _ := src.Alerts(3, 0); next != 3 || src.Errs.Load() != 1 {
+			t.Errorf("next=%d errs=%d after bad JSON, want cursor held with one error", next, src.Errs.Load())
+		}
+	})
+	t.Run("bad-prefix-skipped", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"alerts":[
+				{"seq":0,"prefix":"not-a-prefix","kind":"origin-change","observed_as":666},
+				{"seq":1,"prefix":"10.99.0.0/16","kind":"more-specific","observed_as":667}
+			],"next":2,"dropped":0}`))
+		}))
+		defer srv.Close()
+		src := &HTTPAlerts{Base: srv.URL}
+		alerts, next, _ := src.Alerts(0, 0)
+		if len(alerts) != 1 || next != 2 || src.Errs.Load() != 1 {
+			t.Fatalf("got %d alerts, next %d, errs %d; want the malformed alert dropped, cursor advanced",
+				len(alerts), next, src.Errs.Load())
+		}
+		if alerts[0].Prefix != watched || alerts[0].Observed != 667 {
+			t.Errorf("surviving alert = %+v", alerts[0])
+		}
+	})
+}
+
+func TestParseAlertKindRoundTrip(t *testing.T) {
+	for _, s := range []string{"origin-change", "more-specific", "new-upstream"} {
+		if got := parseAlertKind(s).String(); got != s {
+			t.Errorf("parseAlertKind(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := func() Config {
+		return Config{
+			Targets:       []Target{{BGPAddr: "127.0.0.1:179", Alerts: &HTTPAlerts{}}},
+			Duration:      time.Second,
+			WatchedPrefix: watched,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"no-targets", func(c *Config) { c.Targets = nil }, "no targets"},
+		{"no-bgp-addr", func(c *Config) { c.Targets[0].BGPAddr = "" }, "no BGP address"},
+		{"no-alert-source", func(c *Config) { c.Targets[0].Alerts = nil }, "no alert source"},
+		{"no-duration", func(c *Config) { c.Duration = 0 }, "Duration"},
+		{"no-watched", func(c *Config) { c.WatchedPrefix = netip.Prefix{} }, "WatchedPrefix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(&cfg)
+			if _, err := Run(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunUnreachableTarget(t *testing.T) {
+	cfg := baseConfig(Target{BGPAddr: "127.0.0.1:1", Alerts: &HTTPAlerts{}})
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("run against an unreachable target succeeded")
+	}
+}
+
+// TestRateLimitBounds checks the pacing actually caps throughput: at
+// Rate R for duration D a session may send at most R*D plus one burst
+// of slack (the whole burst is committed before the pacer sleeps).
+func TestRateLimitBounds(t *testing.T) {
+	d := newDaemon(t)
+	cfg := baseConfig(Target{BGPAddr: d.BGPAddr(), Alerts: d})
+	cfg.Sessions = 1
+	cfg.BurstSize = 32
+	cfg.Rate = 1000
+	cfg.Duration = 400 * time.Millisecond
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSent := uint64(cfg.Rate*cfg.Duration.Seconds()) + uint64(cfg.BurstSize)
+	if res.UpdatesSent == 0 || res.UpdatesSent > maxSent {
+		t.Errorf("sent %d updates at rate %v over %v, want (0, %d]",
+			res.UpdatesSent, cfg.Rate, cfg.Duration, maxSent)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	d := newDaemon(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig(Target{BGPAddr: d.BGPAddr(), Alerts: d})
+	if _, err := Run(ctx, cfg); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+func TestEncodeBurstDeterministicAndDisjoint(t *testing.T) {
+	a, n, err := encodeBurst(rand.New(rand.NewSource(7)), 128, 64601, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := encodeBurst(rand.New(rand.NewSource(7)), 128, 64601, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 128 || !bytes.Equal(a, b) {
+		t.Errorf("burst not deterministic: n=%d, equal=%v", n, bytes.Equal(a, b))
+	}
+	c, _, err := encodeBurst(rand.New(rand.NewSource(8)), 128, 64601, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical bursts")
+	}
+	bench := netip.MustParsePrefix("198.18.0.0/15")
+	if bench.Overlaps(watched) {
+		t.Fatal("benchmark range overlaps the watched prefix")
+	}
+}

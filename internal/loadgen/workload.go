@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"quicksand/internal/bgp"
+)
+
+// encodeBurst pre-encodes size background announcements into one raw
+// buffer for bgpd.Session.SendRaw, returning the buffer and the update
+// count. Encoding once and replaying the bytes keeps the load sessions'
+// hot loop at a single write syscall per burst — the harness must be
+// cheaper than the pipeline it is stressing.
+//
+// Prefixes are drawn from 198.18.0.0/15 (the RFC 2544 benchmarking
+// range), which is disjoint from any realistic watched set, so the
+// background load can never raise alerts of its own. Origins stay below
+// 64900 so they cannot collide with tracer ASNs.
+func encodeBurst(rng *rand.Rand, size int, localAS bgp.ASN, as4 bool) ([]byte, int, error) {
+	var raw []byte
+	var err error
+	for i := 0; i < size; i++ {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			198, byte(18 + rng.Intn(2)), byte(rng.Intn(256)), 0,
+		}), 24)
+		path := []bgp.ASN{localAS}
+		for hops := 1 + rng.Intn(3); hops > 0; hops-- {
+			path = append(path, bgp.ASN(64700+rng.Intn(200)))
+		}
+		u := &bgp.Update{
+			NLRI: []netip.Prefix{pfx},
+			Attrs: bgp.PathAttributes{
+				HasOrigin: true, Origin: bgp.OriginIGP,
+				HasASPath: true, ASPath: bgp.Sequence(path...),
+				NextHop: netip.AddrFrom4([4]byte{203, 0, 113, 1}),
+			},
+		}
+		if raw, err = u.AppendMessage(raw, as4); err != nil {
+			return nil, 0, err
+		}
+	}
+	return raw, size, nil
+}

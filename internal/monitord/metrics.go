@@ -33,10 +33,24 @@ type metrics struct {
 	droppedNonIPv4  *obs.Counter
 
 	alerts [3]*obs.Counter // pre-resolved by defense.AlertKind
+	// alertsDropped counts real ring evictions, bumped by the ring itself
+	// at the moment an unread alert is overwritten.
+	alertsDropped *obs.Counter
 
 	sessionsAccepted *obs.Counter
 	sessionsActive   *obs.Gauge
 	dialRetries      *obs.Counter
+
+	// Pipeline latency instrumentation (observations gated by
+	// Daemon.stageOn): per-stage histograms pre-resolved by stage label,
+	// the end-to-end detection histogram, and the read batch-size
+	// histogram that bounds per-update stamp skew.
+	stageRead     *obs.Histogram
+	stageDispatch *obs.Histogram
+	stageApply    *obs.Histogram
+	stageMonitor  *obs.Histogram
+	detection     *obs.Histogram
+	readBatchSize *obs.Histogram
 
 	// rate is a lazily updated updates/sec gauge: each exposition
 	// computes the rate over the window since the previous exposition
@@ -46,6 +60,11 @@ type metrics struct {
 	rateLastSeen uint64
 	rateValue    float64
 }
+
+// latencyBuckets cover the µs-to-seconds range log-spaced: fine enough
+// for sub-ms pipeline stages, wide enough that a backpressure stall or a
+// multi-second detection outlier still lands in a finite bucket.
+var latencyBuckets = obs.ExpBucketsRange(1e-6, 10, 22)
 
 // newMetrics registers the daemon's metric families on reg; a nil reg
 // gets a private registry so a standalone daemon still serves /metrics.
@@ -66,6 +85,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 	for k := defense.AlertOriginChange; k <= defense.AlertNewUpstream; k++ {
 		m.alerts[k] = alerts.With(k.String())
 	}
+	m.alertsDropped = reg.Counter("monitord_alerts_dropped_total", "Alerts evicted from the ring before any client read them.")
+	stages := reg.HistogramVec("monitord_stage_seconds",
+		"Pipeline stage latency: read (socket to dispatcher handoff), dispatch (shard queue wait), apply (RIB fold), monitor (§5 checks).",
+		latencyBuckets, "stage")
+	m.stageRead = stages.With("read")
+	m.stageDispatch = stages.With("dispatch")
+	m.stageApply = stages.With("apply")
+	m.stageMonitor = stages.With("monitor")
+	m.detection = reg.Histogram("monitord_detection_seconds",
+		"End-to-end hijack detection latency: socket read to alert ring append.", latencyBuckets)
+	m.readBatchSize = reg.Histogram("monitord_read_batch_size",
+		"UPDATEs decoded per session read batch; batch size bounds the per-update stamp skew in the stage histograms.",
+		obs.ExpBuckets(1, 2, 10))
 	m.sessionsAccepted = reg.Counter("monitord_sessions_accepted_total", "BGP sessions ever established (inbound + outbound).")
 	m.sessionsActive = reg.Gauge("monitord_sessions_active", "BGP sessions currently established.")
 	m.dialRetries = reg.Counter("monitord_dial_retries_total", "Outbound collector dial attempts that failed and backed off.")
@@ -87,16 +119,6 @@ func (m *metrics) registerCollectors(d *Daemon) {
 			for i, ch := range d.shards {
 				emit([]string{strconv.Itoa(i)}, float64(len(ch)))
 			}
-		})
-	// Ring-level drop accounting: per-client reads are not tracked;
-	// expose evictions beyond capacity instead.
-	m.reg.Collect("monitord_alerts_dropped_total", "Alerts evicted from the ring before any client read them.",
-		obs.KindCounter, nil, func(emit obs.Emit) {
-			var dropped uint64
-			if total := d.rng.total(); total > uint64(d.cfg.AlertBuffer) {
-				dropped = total - uint64(d.cfg.AlertBuffer)
-			}
-			emit(nil, float64(dropped))
 		})
 	m.reg.Collect("monitord_session_updates_total", "Updates ingested per session.",
 		obs.KindCounter, []string{"session", "peer_as", "source", "state"}, func(emit obs.Emit) {

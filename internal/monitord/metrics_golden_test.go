@@ -26,6 +26,11 @@ func scrapeMetrics(t *testing.T) string {
 		},
 		Shards:     4,
 		ListenHTTP: "127.0.0.1:0",
+		// Latency observations off: bucket placement depends on real
+		// elapsed time, which a golden can't pin. The families still
+		// render (at zero), so the exposition shape stays covered;
+		// latency_test.go asserts the populated behaviour.
+		DisableLatencyMetrics: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -78,6 +78,14 @@ type Config struct {
 	// (default 64). 1 degenerates to the old per-message path.
 	ReadBatch int
 
+	// DisableLatencyMetrics turns off the pipeline's latency
+	// instrumentation (monitord_stage_seconds, monitord_detection_seconds,
+	// monitord_read_batch_size observations): the families still appear in
+	// /metrics at zero, but the hot path takes no extra monotonic clock
+	// readings — the knob that keeps the disabled-observability overhead
+	// bound where PR 4 pinned it.
+	DisableLatencyMetrics bool
+
 	// LearnUpdates treats (approximately) the first N ingested updates
 	// as a clean learning window for new-upstream alarms: they train the
 	// monitor without raising alerts, after which upstream alarms switch
@@ -156,8 +164,16 @@ func (c *Config) withDefaults() Config {
 // (one channel send amortised across a session reader's decode batch;
 // the single-item form keeps the in-process Ingest path allocation-free).
 type item struct {
-	si     *sessionInfo
-	t      time.Time
+	si *sessionInfo
+	t  time.Time
+	// rt is the internal receive stamp — time.Now() taken when the item's
+	// batch came off the socket (or when Ingest enqueued it), so it
+	// carries a monotonic clock reading. Stage and detection latencies are
+	// measured with time.Since against rt; the semantic timestamp t is
+	// caller-supplied on the Ingest/MRT paths and has no monotonic
+	// reading, so it must never feed a latency histogram. Zero when
+	// latency metrics are disabled.
+	rt     time.Time
 	prefix netip.Prefix
 	// path distinguishes nil from empty: nil is a withdrawal, a non-nil
 	// empty slice is an announcement whose AS_PATH attribute was present
@@ -191,6 +207,9 @@ type Daemon struct {
 	rib *liveRIB
 	rng *ring
 	met *metrics
+	// stageOn gates every latency observation (and the clock reads that
+	// feed them) so the disabled path costs nothing.
+	stageOn bool
 
 	shards  []chan item
 	shardWG sync.WaitGroup
@@ -232,11 +251,15 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.UpstreamAlarms {
 		mon.EnableUpstream()
 	}
+	// Metrics before the ring: eviction accounting needs the real
+	// monitord_alerts_dropped_total counter at ring construction.
+	met := newMetrics(cfg.Registry)
 	d := &Daemon{
 		cfg: cfg, mon: mon,
 		rib:      newLiveRIB(cfg.Shards),
-		rng:      newRing(cfg.AlertBuffer),
-		met:      newMetrics(cfg.Registry),
+		rng:      newRing(cfg.AlertBuffer, met.alertsDropped),
+		met:      met,
+		stageOn:  !cfg.DisableLatencyMetrics,
 		shards:   make([]chan item, cfg.Shards),
 		rawConns: make(map[net.Conn]struct{}),
 		sessions: make(map[int]*sessionInfo),
@@ -397,20 +420,27 @@ func (d *Daemon) closeSession(si *sessionInfo) {
 
 // readLoop decodes update batches from an established session until it
 // fails (peer NOTIFICATION, hold-timer expiry, or Shutdown closing it)
-// and hands them to the dispatcher in per-shard runs: one time.Now()
-// stamp and one channel send per (shard, batch) instead of per prefix.
+// and hands them to the dispatcher in per-shard runs: one channel send
+// per (shard, batch) instead of per prefix. Every item carries the
+// batch-start stamp (taken as the first UPDATE came off the socket), so
+// per-update latency skew is bounded by the batch decode time — never
+// under-reported — and the read-stage histogram measures batch-start to
+// dispatcher handoff, including any backpressure stall.
 func (d *Daemon) readLoop(sess *bgpd.Session, si *sessionInfo) {
 	defer d.closeSession(si)
 	batch := make([]bgp.Update, d.cfg.ReadBatch)
 	shardBufs := make([][]item, len(d.shards))
 	for {
-		n, err := sess.RecvUpdateBatch(batch)
+		n, start, err := sess.RecvUpdateBatchStamped(batch)
 		if n > 0 {
-			now := time.Now()
+			var rt time.Time
+			if d.stageOn {
+				rt = start
+			}
 			for i := range batch[:n] {
 				u := &batch[i]
 				for _, p := range u.Withdrawn {
-					d.stageItem(shardBufs, item{si: si, t: now, prefix: p})
+					d.stageItem(shardBufs, item{si: si, t: start, rt: rt, prefix: p})
 				}
 				if len(u.NLRI) == 0 {
 					continue
@@ -423,10 +453,14 @@ func (d *Daemon) readLoop(sess *bgpd.Session, si *sessionInfo) {
 				}
 				path := flattenPath(u.Attrs.ASPath)
 				for _, p := range u.NLRI {
-					d.stageItem(shardBufs, item{si: si, t: now, prefix: p, path: path})
+					d.stageItem(shardBufs, item{si: si, t: start, rt: rt, prefix: p, path: path})
 				}
 			}
 			d.flushShardBufs(shardBufs)
+			if d.stageOn {
+				d.met.readBatchSize.Observe(float64(n))
+				d.met.stageRead.Observe(time.Since(start).Seconds())
+			}
 		}
 		if err != nil {
 			if !errors.Is(err, bgpd.ErrClosed) {
@@ -481,31 +515,59 @@ func (d *Daemon) enqueue(it item) {
 		d.met.droppedNonIPv4.Add(1)
 		return
 	}
+	if d.stageOn {
+		it.rt = time.Now()
+	}
 	d.enqueued.Add(1)
 	d.shards[d.rib.shardOf(it.prefix)] <- it
 }
 
 // worker is one dispatcher shard: RIB fold, monitor check, alert fanout.
 // A channel element is either one item or a whole same-shard batch.
+//
+// Latency accounting is amortised per channel element: the dispatch
+// stage (receive stamp to dequeue) is observed once per element, and the
+// apply/monitor stages are timed on the element's last item only — every
+// item of a batch shares the same batch-start stamp, so the last item is
+// the conservative upper bound, and a large ReadBatch costs a handful of
+// clock reads instead of two per update. Singleton items (the Ingest
+// path) observe every stage.
 func (d *Daemon) worker(ch chan item) {
 	defer d.shardWG.Done()
 	for it := range ch {
 		if it.batch != nil {
+			if d.stageOn && len(it.batch) > 0 && !it.batch[0].rt.IsZero() {
+				d.met.stageDispatch.Observe(time.Since(it.batch[0].rt).Seconds())
+			}
+			last := len(it.batch) - 1
 			for i := range it.batch {
-				d.process(&it.batch[i])
+				d.process(&it.batch[i], i == last)
 			}
 			continue
 		}
-		d.process(&it)
+		if d.stageOn && !it.rt.IsZero() {
+			d.met.stageDispatch.Observe(time.Since(it.rt).Seconds())
+		}
+		d.process(&it, true)
 	}
 }
 
 // process folds one item into the shard's RIB slice and runs the
 // streaming monitor. A nil path is a withdrawal; a non-nil empty path is
 // an announcement with an empty AS_PATH (stored, not withdrawn, and not
-// counted as a withdrawal).
-func (d *Daemon) process(it *item) {
+// counted as a withdrawal). observe enables the apply/monitor stage
+// timing for this item; detection latency is observed for every alert
+// regardless, measured monotonically from the receive stamp.
+func (d *Daemon) process(it *item, observe bool) {
+	observe = observe && d.stageOn && !it.rt.IsZero()
+	var t0 time.Time
+	if observe {
+		t0 = time.Now()
+	}
 	d.rib.apply(it.t, it.si.id, it.prefix, it.path)
+	if observe {
+		d.met.stageApply.Observe(time.Since(t0).Seconds())
+	}
 	it.si.updates.Add(1)
 	d.met.updates.Add(1)
 	if it.path == nil {
@@ -520,8 +582,18 @@ func (d *Daemon) process(it *item) {
 			d.cfg.Logf("monitord: learning window done (%d updates), upstream alarms on", learn)
 		}
 	} else {
-		for _, a := range d.mon.Observe(&ev) {
+		if observe {
+			t0 = time.Now()
+		}
+		alerts := d.mon.Observe(&ev)
+		if observe {
+			d.met.stageMonitor.Observe(time.Since(t0).Seconds())
+		}
+		for _, a := range alerts {
 			d.rng.append(a)
+			if d.stageOn && !it.rt.IsZero() {
+				d.met.detection.Observe(time.Since(it.rt).Seconds())
+			}
 			if int(a.Kind) >= 0 && int(a.Kind) < len(d.met.alerts) {
 				d.met.alerts[a.Kind].Add(1)
 			}

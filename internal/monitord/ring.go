@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"quicksand/internal/defense"
+	"quicksand/internal/obs"
 )
 
 // SeqAlert is a monitor alert stamped with its position in the daemon's
@@ -20,17 +21,19 @@ type SeqAlert struct {
 // block and never fail: when full, the oldest alert is evicted and
 // accounted as dropped.
 type ring struct {
-	mu   sync.Mutex
-	buf  []SeqAlert
-	next uint64 // sequence number of the next append
-	n    int    // live entries: sequences [next-n, next)
+	mu      sync.Mutex
+	buf     []SeqAlert
+	next    uint64       // sequence number of the next append
+	n       int          // live entries: sequences [next-n, next)
+	evicted *obs.Counter // bumped when a full ring overwrites its oldest alert
 }
 
-func newRing(capacity int) *ring {
-	return &ring{buf: make([]SeqAlert, capacity)}
+func newRing(capacity int, evicted *obs.Counter) *ring {
+	return &ring{buf: make([]SeqAlert, capacity), evicted: evicted}
 }
 
-// append stores a and returns its sequence number.
+// append stores a and returns its sequence number, counting the
+// eviction when a full ring overwrites its oldest entry.
 func (r *ring) append(a defense.Alert) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -39,6 +42,8 @@ func (r *ring) append(a defense.Alert) uint64 {
 	r.next++
 	if r.n < len(r.buf) {
 		r.n++
+	} else {
+		r.evicted.Inc()
 	}
 	return seq
 }

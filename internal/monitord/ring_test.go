@@ -6,6 +6,7 @@ import (
 
 	"quicksand/internal/bgp"
 	"quicksand/internal/defense"
+	"quicksand/internal/obs"
 )
 
 func mkAlert(i int) defense.Alert {
@@ -18,7 +19,8 @@ func mkAlert(i int) defense.Alert {
 }
 
 func TestRingSequencesAndEviction(t *testing.T) {
-	r := newRing(4)
+	evicted := obs.NewRegistry().Counter("monitord_test_evicted_total", "evictions")
+	r := newRing(4, evicted)
 	for i := 0; i < 6; i++ {
 		if seq := r.append(mkAlert(i)); seq != uint64(i) {
 			t.Fatalf("append %d: seq = %d", i, seq)
@@ -26,6 +28,9 @@ func TestRingSequencesAndEviction(t *testing.T) {
 	}
 	if got := r.total(); got != 6 {
 		t.Fatalf("total = %d, want 6", got)
+	}
+	if got := evicted.Value(); got != 2 {
+		t.Fatalf("eviction counter = %d, want 2 (capacity 4, 6 appended)", got)
 	}
 
 	alerts, next, dropped := r.since(0, 0)
@@ -49,7 +54,7 @@ func TestRingSequencesAndEviction(t *testing.T) {
 }
 
 func TestRingSinceCursorSemantics(t *testing.T) {
-	r := newRing(8)
+	r := newRing(8, nil) // nil eviction counter: accounting is optional
 	for i := 0; i < 5; i++ {
 		r.append(mkAlert(i))
 	}

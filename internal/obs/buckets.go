@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpBuckets returns count exponentially spaced histogram bucket upper
+// bounds: start, start*factor, start*factor², … Use it for latency
+// families whose interesting range spans several orders of magnitude,
+// where linear buckets would waste resolution at one end.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if count < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets count %d < 1", count))
+	}
+	if start <= 0 {
+		panic(fmt.Sprintf("obs: ExpBuckets start %g <= 0", start))
+	}
+	if factor <= 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets factor %g <= 1", factor))
+	}
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// ExpBucketsRange returns count log-spaced bucket upper bounds from min
+// to max inclusive. The monitord stage histograms use this to cover the
+// µs-to-seconds detection-latency range with constant relative
+// resolution.
+func ExpBucketsRange(min, max float64, count int) []float64 {
+	if count < 2 {
+		panic(fmt.Sprintf("obs: ExpBucketsRange count %d < 2", count))
+	}
+	if min <= 0 {
+		panic(fmt.Sprintf("obs: ExpBucketsRange min %g <= 0", min))
+	}
+	if max <= min {
+		panic(fmt.Sprintf("obs: ExpBucketsRange max %g <= min %g", max, min))
+	}
+	b := make([]float64, count)
+	ratio := math.Pow(max/min, 1/float64(count-1))
+	v := min
+	for i := range b {
+		b[i] = v
+		v *= ratio
+	}
+	b[count-1] = max // pin the endpoint against accumulated rounding
+	return b
+}

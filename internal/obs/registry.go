@@ -515,7 +515,10 @@ func seriesRows(key string, s any, buckets []float64) []row {
 		rows = append(rows, row{suffix: "_bucket", labels: spliceLabel(key, "le", "+Inf"),
 			value: strconv.FormatUint(cum, 10)})
 		rows = append(rows, row{suffix: "_sum", labels: key, value: formatValue(m.Sum())})
-		rows = append(rows, row{suffix: "_count", labels: key, value: strconv.FormatUint(m.Count(), 10)})
+		// _count is rendered from the +Inf cumulative value, not n: under
+		// concurrent Observe calls n can run ahead of the bucket loads
+		// above, and a scrape must never show _count != the +Inf bucket.
+		rows = append(rows, row{suffix: "_count", labels: key, value: strconv.FormatUint(cum, 10)})
 		return rows
 	}
 	return nil

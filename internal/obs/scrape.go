@@ -1,0 +1,525 @@
+package obs
+
+// Multi-target /metrics scraping and aggregation. The fleet load
+// harness scrapes N monitord instances and needs one merged exposition
+// to report on; obs may not import any other quicksand package (see the
+// package doc), so the text-format parser here is self-contained rather
+// than borrowing testkit's.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ScrapedSample is one exposition sample line: the full sample name
+// (including any _bucket/_sum/_count suffix), its labels, and the value.
+type ScrapedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ScrapedFamily groups the samples of one metric family as scraped.
+type ScrapedFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | untyped
+	Samples []ScrapedSample
+
+	index map[string]int // sample name + label key -> Samples offset
+}
+
+// Snapshot is a parsed exposition: families in first-seen order, with
+// name lookup. Snapshots from several instances merge with
+// MergeSnapshots.
+type Snapshot struct {
+	Families []*ScrapedFamily
+	byName   map[string]*ScrapedFamily
+}
+
+// Family returns the named family, or nil when absent.
+func (s *Snapshot) Family(name string) *ScrapedFamily {
+	if s == nil {
+		return nil
+	}
+	return s.byName[name]
+}
+
+func (s *Snapshot) family(name string) *ScrapedFamily {
+	if f, ok := s.byName[name]; ok {
+		return f
+	}
+	f := &ScrapedFamily{Name: name, index: make(map[string]int)}
+	s.byName[name] = f
+	s.Families = append(s.Families, f)
+	return f
+}
+
+// Sum adds up every sample with the given full name whose labels
+// include all pairs in match (nil matches everything), returning the
+// total and how many samples matched.
+func (s *Snapshot) Sum(sample string, match map[string]string) (float64, int) {
+	if s == nil {
+		return 0, 0
+	}
+	total, n := 0.0, 0
+	for _, f := range s.Families {
+		for i := range f.Samples {
+			sm := &f.Samples[i]
+			if sm.Name != sample || !labelsMatch(sm.Labels, match) {
+				continue
+			}
+			total += sm.Value
+			n++
+		}
+	}
+	return total, n
+}
+
+// Quantile estimates quantile q (in [0, 1]) of the named histogram
+// family from its scraped _bucket samples, summing across every series
+// whose labels include all pairs in match (le excluded from matching).
+// Summing cumulative buckets across series is sound because every
+// instance registers the family with identical bounds.
+func (s *Snapshot) Quantile(familyName string, q float64, match map[string]string) (float64, error) {
+	fam := s.Family(familyName)
+	if fam == nil {
+		return 0, fmt.Errorf("obs: no scraped family %q", familyName)
+	}
+	byLe := make(map[float64]uint64)
+	for _, sm := range fam.Samples {
+		if sm.Name != familyName+"_bucket" {
+			continue
+		}
+		le, ok := sm.Labels["le"]
+		if !ok || !labelsMatchExcept(sm.Labels, match, "le") {
+			continue
+		}
+		bound, err := parseLe(le)
+		if err != nil {
+			return 0, err
+		}
+		byLe[bound] += uint64(math.Round(sm.Value))
+	}
+	if len(byLe) == 0 {
+		return 0, fmt.Errorf("obs: no %s_bucket samples match %v", familyName, match)
+	}
+	if _, ok := byLe[math.Inf(1)]; !ok {
+		return 0, fmt.Errorf("obs: family %q has no le=\"+Inf\" bucket", familyName)
+	}
+	bounds := make([]float64, 0, len(byLe)-1)
+	for b := range byLe {
+		if !math.IsInf(b, 1) {
+			bounds = append(bounds, b)
+		}
+	}
+	sort.Float64s(bounds)
+	cum := make([]uint64, 0, len(bounds)+1)
+	for _, b := range bounds {
+		cum = append(cum, byLe[b])
+	}
+	cum = append(cum, byLe[math.Inf(1)])
+	return QuantileFromCumulative(bounds, cum, q), nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad le bound %q: %v", s, err)
+	}
+	return v, nil
+}
+
+func labelsMatch(labels, match map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func labelsMatchExcept(labels, match map[string]string, except string) bool {
+	for k, v := range match {
+		if k == except {
+			continue
+		}
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseExposition parses Prometheus text format 0.0.4. Unknown comment
+// lines are skipped; HELP/TYPE lines bind metadata to their family;
+// histogram _bucket/_sum/_count samples attach to the declaring family.
+func ParseExposition(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{byName: make(map[string]*ScrapedFamily)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				f := s.family(fields[2])
+				if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+			case "TYPE":
+				if len(fields) >= 4 {
+					s.family(fields[2]).Type = strings.TrimSpace(fields[3])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %v", ln, err)
+		}
+		fam := s.family(familyFor(s, name))
+		fam.addSample(ScrapedSample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// familyFor maps a sample name to its family: _bucket/_sum/_count
+// suffixes fold into an already-declared histogram family, everything
+// else is its own family.
+func familyFor(s *Snapshot, sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := s.byName[base]; ok && f.Type == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+func (f *ScrapedFamily) addSample(sm ScrapedSample) {
+	key := sm.Name + labelKeyOf(sm.Labels)
+	if i, ok := f.index[key]; ok {
+		f.Samples[i].Value += sm.Value
+		return
+	}
+	f.index[key] = len(f.Samples)
+	f.Samples = append(f.Samples, sm)
+}
+
+// labelKeyOf renders labels as a canonical sorted {a="x",b="y"} key.
+func labelKeyOf(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, n := range names {
+		values[i] = labels[n]
+	}
+	return labelKey(names, values)
+}
+
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels = make(map[string]string)
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ", \t")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label block in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			lval, remain, lerr := parseQuoted(rest[eq+1:])
+			if lerr != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", lerr, line)
+			}
+			labels[lname] = lval
+			rest = remain
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped label value
+// starting at s[0] == '"', returning the decoded value and the rest.
+func parseQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted value")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i+1])
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// ScrapeTarget fetches and parses one /metrics endpoint.
+func ScrapeTarget(url string) (*Snapshot, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape %s: status %s", url, resp.Status)
+	}
+	return ParseExposition(resp.Body)
+}
+
+// ScrapeAll scrapes every URL and merges the snapshots into one
+// fleet-wide view.
+func ScrapeAll(urls ...string) (*Snapshot, error) {
+	snaps := make([]*Snapshot, 0, len(urls))
+	for _, u := range urls {
+		sn, err := ScrapeTarget(u)
+		if err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, sn)
+	}
+	return MergeSnapshots(snaps...)
+}
+
+// MergeSnapshots sums same-name same-label samples across snapshots:
+// counters and histogram buckets aggregate to fleet totals, gauges sum
+// (queue depths and rates add meaningfully across instances). Family
+// types must agree; help text is first-seen.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	out := &Snapshot{byName: make(map[string]*ScrapedFamily)}
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for _, f := range sn.Families {
+			of := out.family(f.Name)
+			if of.Type == "" {
+				of.Type = f.Type
+			} else if f.Type != "" && f.Type != of.Type {
+				return nil, fmt.Errorf("obs: merge: family %q is both %s and %s",
+					f.Name, of.Type, f.Type)
+			}
+			if of.Help == "" {
+				of.Help = f.Help
+			}
+			for _, sm := range f.Samples {
+				labels := make(map[string]string, len(sm.Labels))
+				for k, v := range sm.Labels {
+					labels[k] = v
+				}
+				of.addSample(ScrapedSample{Name: sm.Name, Labels: labels, Value: sm.Value})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WritePrometheus renders the snapshot back to exposition text:
+// families in sorted name order, histogram buckets in bound order with
+// sum and count after them, other samples in sorted label order. The
+// output round-trips through ParseExposition and passes the testkit
+// linter, so aggregated fleet metrics can be linted and re-served.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	fams := make([]*ScrapedFamily, len(s.Families))
+	copy(fams, s.Families)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for _, f := range fams {
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.Name, escapeHelp(f.Help), f.Name, typ); err != nil {
+			return err
+		}
+		var err error
+		if typ == "histogram" {
+			err = writeHistogramSamples(w, f)
+		} else {
+			err = writePlainSamples(w, f.Samples)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePlainSamples(w io.Writer, samples []ScrapedSample) error {
+	rows := make([]ScrapedSample, len(samples))
+	copy(rows, samples)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return labelKeyOf(rows[i].Labels) < labelKeyOf(rows[j].Labels)
+	})
+	for _, sm := range rows {
+		if err := writeSample(w, sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramSamples groups a histogram family's samples by series
+// (labels minus le) and renders each series' buckets in bound order
+// followed by its _sum and _count.
+func writeHistogramSamples(w io.Writer, f *ScrapedFamily) error {
+	type series struct {
+		buckets []ScrapedSample
+		other   []ScrapedSample // _sum, _count
+	}
+	groups := make(map[string]*series)
+	var keys []string
+	group := func(key string) *series {
+		g, ok := groups[key]
+		if !ok {
+			g = &series{}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		return g
+	}
+	for _, sm := range f.Samples {
+		if sm.Name == f.Name+"_bucket" {
+			base := make(map[string]string, len(sm.Labels))
+			for k, v := range sm.Labels {
+				if k != "le" {
+					base[k] = v
+				}
+			}
+			g := group(labelKeyOf(base))
+			g.buckets = append(g.buckets, sm)
+		} else {
+			group(labelKeyOf(sm.Labels)).other = append(group(labelKeyOf(sm.Labels)).other, sm)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		g := groups[key]
+		sort.Slice(g.buckets, func(i, j int) bool {
+			bi, _ := parseLe(g.buckets[i].Labels["le"])
+			bj, _ := parseLe(g.buckets[j].Labels["le"])
+			return bi < bj
+		})
+		sort.Slice(g.other, func(i, j int) bool { return g.other[i].Name < g.other[j].Name })
+		for _, sm := range g.buckets {
+			if err := writeSample(w, sm); err != nil {
+				return err
+			}
+		}
+		for _, sm := range g.other {
+			if err := writeSample(w, sm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, sm ScrapedSample) error {
+	labels := sm.Labels
+	key := ""
+	if len(labels) > 0 {
+		// Keep le last within a bucket line for readability, matching
+		// the in-process writer's splice order.
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if n != "le" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		if _, ok := labels["le"]; ok {
+			names = append(names, "le")
+		}
+		values := make([]string, len(names))
+		for i, n := range names {
+			values[i] = labels[n]
+		}
+		key = labelKey(names, values)
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", sm.Name, key, formatValue(sm.Value))
+	return err
+}

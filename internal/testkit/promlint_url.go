@@ -1,0 +1,32 @@
+package testkit
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// LintPromURL scrapes a live /metrics endpoint and runs LintProm over
+// the body, so tests can assert that what a real Prometheus server
+// would fetch — not just an in-process render — satisfies the
+// exposition invariants. Transport failures and non-200 responses are
+// reported as lint errors rather than a separate error channel: to the
+// caller a target that cannot be scraped cleanly is exactly as broken
+// as one that serves a malformed exposition.
+func LintPromURL(url string) []error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return []error{fmt.Errorf("scrape %s: %w", url, err)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return []error{fmt.Errorf("scrape %s: read body: %w", url, err)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return []error{fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)}
+	}
+	return LintProm(string(body))
+}

@@ -21,7 +21,11 @@
 #      binary snapshot must reproduce the RIB exactly and replay
 #      restored routes through the monitor
 #   9. metrics lint: every Prometheus exposition (monitord, obs, serve)
-#      through the internal/testkit linter
+#      through the internal/testkit linter, including live-scraped and
+#      fleet-aggregated expositions (LintPromURL)
+#  9b. loadtest smoke: the fleet load harness against two in-process
+#      instances under -race — at least one tracer hijack detected and
+#      the aggregated exposition lint-clean
 #  10. 73K topology smoke: generate the full-Internet-scale power-law
 #      graph, compute a destination shard, and delta-recompile one flap
 #      through `quicksand topo`
@@ -93,10 +97,19 @@ go test -count=1 -run 'TestSnapshotRoundTrip|TestSnapshotFileRoundTrip|TestSnaps
 
 echo "== metrics lint (Prometheus exposition format) =="
 # Every text exposition the repository serves — the monitord daemon's
-# /metrics, the obs registry writer, and the serve wiring — must pass
-# the shared parser/linter in internal/testkit.
-go test -count=1 -run 'TestMetricsLint|TestMetricsGolden|TestExpositionPassesLint|TestServeObsSmoke' \
-    ./internal/monitord/ ./internal/obs/ ./cmd/quicksand/
+# /metrics, the obs registry writer, the serve wiring, and the
+# fleet-aggregated output of the obs scraper — must pass the shared
+# parser/linter in internal/testkit (in-process and over HTTP).
+go test -count=1 -run 'TestMetricsLint|TestMetricsGolden|TestExpositionPassesLint|TestServeObsSmoke|TestLintPromURL' \
+    ./internal/monitord/ ./internal/obs/ ./cmd/quicksand/ ./internal/testkit/
+
+echo "== loadtest smoke (fleet harness + aggregated metrics, -race) =="
+# The fleet load harness end to end under the race detector: two
+# in-process monitord instances, real TCP load sessions, tracer hijacks
+# detected through the HTTP /alerts API, and the merged two-instance
+# exposition lint-clean.
+go test -race -count=1 -run 'TestLoadtestSmoke|TestLoadtestCmdJSON' \
+    ./cmd/quicksand/
 
 echo "== 73K topology smoke (generate + shard + delta recompile) =="
 # The full-Internet-scale path end to end: generate 73,000 ASes, compute
