@@ -9,10 +9,12 @@ import (
 	"math"
 	"net/netip"
 	"os"
+	"sort"
 	"time"
 
 	"quicksand/internal/bgp"
 	"quicksand/internal/bgpd"
+	"quicksand/internal/fleet"
 	"quicksand/internal/loadgen"
 	"quicksand/internal/monitord"
 	"quicksand/internal/obs"
@@ -21,6 +23,7 @@ import (
 // loadtestOpts are the parsed flags of the loadtest subcommand.
 type loadtestOpts struct {
 	instances      int
+	fleetShards    int
 	sessions       int
 	rate           float64
 	duration       time.Duration
@@ -35,6 +38,7 @@ type loadtestOpts struct {
 func loadtestFlags(fs *flag.FlagSet) *loadtestOpts {
 	o := &loadtestOpts{}
 	fs.IntVar(&o.instances, "instances", 1, "in-process monitord instances to run")
+	fs.IntVar(&o.fleetShards, "fleet", 0, "front the load with one fleet router sharding the watchlist across N in-process monitord shards (replaces -instances)")
 	fs.IntVar(&o.sessions, "sessions", 4, "concurrent load sessions per instance (plus one tracer session each)")
 	fs.Float64Var(&o.rate, "rate", 0, "updates/sec cap per load session (0 = unthrottled)")
 	fs.DurationVar(&o.duration, "duration", 3*time.Second, "load phase length")
@@ -77,6 +81,13 @@ type loadtestReport struct {
 	DetectP99 float64 `json:"detection_p99_seconds"`
 	// Per-stage p99s from the aggregated monitord_stage_seconds vector.
 	StageP99 map[string]float64 `json:"stage_p99_seconds"`
+
+	// Fleet-mode extras (absent when -fleet is off): the router's shard
+	// count and the Counter-RAPTOR detector totals over the merged
+	// alert stream.
+	FleetShards        int               `json:"fleet_shards,omitempty"`
+	AnomaliesObserved  uint64            `json:"anomalies_observed,omitempty"`
+	AnomaliesEscalated map[string]uint64 `json:"anomalies_escalated,omitempty"`
 }
 
 // loadtestCmd runs a fleet of in-process monitord instances under load,
@@ -93,6 +104,9 @@ func loadtestCmd(args []string, out io.Writer) error {
 	}
 	if o.instances < 1 {
 		return fmt.Errorf("need at least one instance")
+	}
+	if o.fleetShards > 0 && o.instances != 1 {
+		return fmt.Errorf("-fleet replaces -instances; use one or the other")
 	}
 	rep, _, err := runLoadtest(o, os.Stderr)
 	if err != nil {
@@ -115,6 +129,9 @@ func loadtestCmd(args []string, out io.Writer) error {
 // The returned snapshot is the merged exposition of every instance (for
 // the smoke test's lint pass).
 func runLoadtest(o *loadtestOpts, logw io.Writer) (*loadtestReport, *obs.Snapshot, error) {
+	if o.fleetShards > 0 {
+		return runFleetLoadtest(o, logw)
+	}
 	watched := netip.MustParsePrefix("10.99.0.0/16")
 	var daemons []*monitord.Daemon
 	defer func() {
@@ -172,6 +189,12 @@ func runLoadtest(o *loadtestOpts, logw io.Writer) (*loadtestReport, *obs.Snapsho
 		return nil, nil, fmt.Errorf("aggregate metrics: %w", err)
 	}
 
+	return newLoadtestReport(o, res, snap), snap, nil
+}
+
+// newLoadtestReport assembles the common report fields from a load run
+// and the aggregated metrics snapshot.
+func newLoadtestReport(o *loadtestOpts, res *loadgen.Result, snap *obs.Snapshot) *loadtestReport {
 	rep := &loadtestReport{
 		Instances: o.instances, Sessions: o.sessions, RateCap: o.rate,
 		DurationSec: res.Elapsed.Seconds(), Seed: o.seed,
@@ -186,6 +209,103 @@ func runLoadtest(o *loadtestOpts, logw io.Writer) (*loadtestReport, *obs.Snapsho
 	for _, stage := range []string{"read", "dispatch", "apply", "monitor"} {
 		rep.StageP99[stage] = histQuantile(snap, "monitord_stage_seconds", 0.99,
 			map[string]string{"stage": stage})
+	}
+	return rep
+}
+
+// fleetWatchlist builds a watchlist that provably populates every one
+// of n shards: it walks 10.x.y.0/24 candidates until the hash partition
+// has given each shard at least one prefix. The per-shard prefixes
+// double as the tracer targets, so tracer hijacks exercise every
+// shard's pipeline while the background load (198.18.0.0/15, disjoint
+// from the watchlist) is rejected at the router's dispatch stage.
+func fleetWatchlist(n int) (map[netip.Prefix]bgp.ASN, []netip.Prefix, error) {
+	watched := make(map[netip.Prefix]bgp.ASN, n)
+	tracers := make([]netip.Prefix, n)
+	filled := 0
+	for i := 0; i < 1<<16 && filled < n; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		s := fleet.OwnerOf(p, n)
+		if tracers[s].IsValid() {
+			continue
+		}
+		tracers[s] = p
+		watched[p] = bgp.ASN(64496 + i)
+		filled++
+	}
+	if filled < n {
+		return nil, nil, fmt.Errorf("could not populate %d shards from 10.0.0.0/8", n)
+	}
+	return watched, tracers, nil
+}
+
+// runFleetLoadtest drives the same load harness against a single fleet
+// router fronting -fleet in-process monitord shards: one BGP listener,
+// one merged /alerts stream, one aggregated /metrics endpoint. The
+// router owns the watchlist dispatch, so the unwatched background load
+// never reaches a shard — the property the BENCH_fleet.json throughput
+// gate measures.
+func runFleetLoadtest(o *loadtestOpts, logw io.Writer) (*loadtestReport, *obs.Snapshot, error) {
+	watched, tracerPrefixes, err := fleetWatchlist(o.fleetShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := fleet.New(fleet.Config{
+		Watched: watched,
+		Shards:  o.fleetShards,
+		ShardConfig: monitord.Config{
+			Shards: o.shards,
+		},
+		Speaker: bgpd.Config{
+			ASN:   64500,
+			BGPID: netip.AddrFrom4([4]byte{198, 51, 100, 1}),
+		},
+		ListenBGP:  "127.0.0.1:0",
+		ListenHTTP: "127.0.0.1:0",
+		ReadBatch:  o.readBatch,
+		Seed:       o.seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		r.Shutdown(ctx)
+		cancel()
+	}()
+
+	fmt.Fprintf(logw, "# loadtest: fleet router over %d shard(s), %d session(s), %v, rate cap %v/s/session\n",
+		o.fleetShards, o.sessions, o.duration, o.rate)
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets: []loadgen.Target{{
+			Name:    "fleet",
+			BGPAddr: r.BGPAddr(),
+			Alerts:  &loadgen.HTTPAlerts{Base: "http://" + r.HTTPAddr()},
+		}},
+		Sessions:       o.sessions,
+		Rate:           o.rate,
+		Duration:       o.duration,
+		TracerInterval: o.tracerInterval,
+		Seed:           o.seed,
+		TracerPrefixes: tracerPrefixes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The router's /metrics already merges its own fleet_* families with
+	// every shard's monitord_* exposition.
+	snap, err := obs.ScrapeAll("http://" + r.HTTPAddr() + "/metrics")
+	if err != nil {
+		return nil, nil, fmt.Errorf("aggregate metrics: %w", err)
+	}
+	rep := newLoadtestReport(o, res, snap)
+	rep.FleetShards = o.fleetShards
+	_, observed, escalated := r.Anomalies()
+	rep.AnomaliesObserved = observed
+	rep.AnomaliesEscalated = make(map[string]uint64, len(escalated))
+	for kind, n := range escalated {
+		rep.AnomaliesEscalated[kind.String()] = n
 	}
 	return rep, snap, nil
 }
@@ -202,8 +322,13 @@ func histQuantile(snap *obs.Snapshot, family string, q float64, match map[string
 
 func printLoadtestReport(out io.Writer, rep *loadtestReport) {
 	fmt.Fprintln(out, "== loadtest: fleet load + hijack-to-alert latency ==")
-	fmt.Fprintf(out, "fleet                  %d instance(s) x %d load session(s) (+1 tracer each)\n",
-		rep.Instances, rep.Sessions)
+	if rep.FleetShards > 0 {
+		fmt.Fprintf(out, "fleet                  router over %d shard(s), %d load session(s) (+1 tracer)\n",
+			rep.FleetShards, rep.Sessions)
+	} else {
+		fmt.Fprintf(out, "fleet                  %d instance(s) x %d load session(s) (+1 tracer each)\n",
+			rep.Instances, rep.Sessions)
+	}
 	fmt.Fprintf(out, "load phase             %.2fs", rep.DurationSec)
 	if rep.RateCap > 0 {
 		fmt.Fprintf(out, "  (rate cap %.0f/s per session)", rep.RateCap)
@@ -222,6 +347,18 @@ func printLoadtestReport(out io.Writer, rep *loadtestReport) {
 		fmt.Fprintf(out, "%s=%s  ", stage, fmtLatency(rep.StageP99[stage]))
 	}
 	fmt.Fprintln(out)
+	if rep.FleetShards > 0 {
+		fmt.Fprintf(out, "anomaly detectors      %d merged alerts observed", rep.AnomaliesObserved)
+		kinds := make([]string, 0, len(rep.AnomaliesEscalated))
+		for k := range rep.AnomaliesEscalated {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(out, ", %s=%d", k, rep.AnomaliesEscalated[k])
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintln(out, "(§5: detection latency bounds how long a hijack deanonymizes before")
 	fmt.Fprintln(out, " clients can route around the implicated relays)")
 }

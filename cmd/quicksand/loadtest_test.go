@@ -63,6 +63,61 @@ func TestLoadtestSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadtestFleetSmoke runs the harness in -fleet mode: one router
+// fronting two shards as a single target. Tracer hijacks (one watched
+// prefix per shard) must flow through the merged alert stream, the
+// router's aggregated exposition must lint, and the anomaly detectors
+// must have observed every merged alert.
+func TestLoadtestFleetSmoke(t *testing.T) {
+	o := shortLoadtestOpts()
+	o.instances = 1
+	o.fleetShards = 2
+	rep, snap, err := runLoadtest(o, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FleetShards != 2 {
+		t.Errorf("FleetShards = %d, want 2", rep.FleetShards)
+	}
+	if rep.TracersDetected < 1 {
+		t.Errorf("no tracer detected (%d injected)", rep.TracersInjected)
+	}
+	if rep.UpdatesSent == 0 || rep.UpdatesPerSec <= 0 {
+		t.Errorf("no load delivered: %+v", rep)
+	}
+	if rep.AnomaliesObserved < uint64(rep.TracersDetected) {
+		t.Errorf("detectors observed %d alerts, want >= %d detected tracers",
+			rep.AnomaliesObserved, rep.TracersDetected)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if errs := testkit.LintProm(buf.String()); len(errs) != 0 {
+		t.Fatalf("fleet exposition fails lint:\n%v", errs)
+	}
+	text := buf.String()
+	for _, want := range []string{"fleet_shards 2", "fleet_updates_forwarded_total", "monitord_updates_ingested_total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet exposition missing %q", want)
+		}
+	}
+	// The background load targets 198.18.0.0/15, disjoint from the
+	// watchlist: it must die at the router, not in a shard.
+	if got, n := snap.Sum("fleet_updates_unwatched_total", nil); n == 0 || got <= 0 {
+		t.Errorf("router dropped no background load (sum=%v families=%d)", got, n)
+	}
+
+	rep.StageP99 = map[string]float64{} // not asserted in fleet mode: shards only see tracers
+	var out bytes.Buffer
+	printLoadtestReport(&out, rep)
+	if !strings.Contains(out.String(), "router over 2 shard(s)") ||
+		!strings.Contains(out.String(), "anomaly detectors") {
+		t.Errorf("fleet report missing router/anomaly lines:\n%s", out.String())
+	}
+}
+
 func TestLoadtestCmdJSON(t *testing.T) {
 	var out bytes.Buffer
 	err := loadtestCmd([]string{
@@ -91,6 +146,10 @@ func TestLoadtestCmdErrors(t *testing.T) {
 	if err := loadtestCmd([]string{"extra"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "unexpected arguments") {
 		t.Errorf("stray args: err = %v", err)
+	}
+	if err := loadtestCmd([]string{"-fleet", "2", "-instances", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-fleet replaces -instances") {
+		t.Errorf("fleet+instances: err = %v", err)
 	}
 	// A detection floor higher than any short run can reach must fail.
 	err := loadtestCmd([]string{

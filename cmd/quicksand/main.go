@@ -11,6 +11,10 @@
 // The serve subcommand runs the long-lived monitord daemon instead of a
 // batch experiment: a live BGP listener, MRT ingest, a streaming §5
 // monitor, and an HTTP API (see serve.go and `quicksand serve -h`).
+// With -fleet N it instead runs a fleet router hash-sharding the
+// watchlist across N in-process monitord instances behind the same BGP
+// and HTTP surface, escalating merged alerts through Counter-RAPTOR
+// anomaly detectors (see internal/fleet).
 //
 // The topo subcommand benchmarks Internet-scale route computation: it
 // generates a CAIDA-shaped power-law topology (73K ASes by default),
@@ -33,6 +37,9 @@
 // aggregates every instance's /metrics, and reports sustained
 // throughput plus the injection-to-alert latency distribution
 // (see loadtest.go, internal/loadgen, and `quicksand loadtest -h`).
+// With -fleet N the same load is driven at a single fleet router
+// fronting N shards, the configuration the BENCH_fleet.json gate
+// measures.
 //
 // Experiments:
 //

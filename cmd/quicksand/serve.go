@@ -17,6 +17,7 @@ import (
 	"quicksand"
 	"quicksand/internal/bgp"
 	"quicksand/internal/bgpd"
+	"quicksand/internal/fleet"
 	"quicksand/internal/monitord"
 	"quicksand/internal/obs"
 )
@@ -26,6 +27,7 @@ type serveOpts struct {
 	scale     string
 	seed      int64
 	watchFile string
+	fleet     int
 
 	listenBGP  string
 	listenHTTP string
@@ -52,6 +54,7 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 	fs.StringVar(&o.scale, "scale", "small", "world scale for the default Tor-prefix watchlist: small or paper")
 	fs.Int64Var(&o.seed, "seed", 1, "root seed for the default watchlist world")
 	fs.StringVar(&o.watchFile, "watch", "", "watchlist file (\"prefix origin-AS\" per line) instead of the generated world's Tor prefixes")
+	fs.IntVar(&o.fleet, "fleet", 0, "shard the watchlist across N in-process monitord instances behind one fleet router (0 = single daemon)")
 	fs.StringVar(&o.listenBGP, "listen-bgp", "127.0.0.1:1790", "TCP address accepting inbound BGP sessions (empty disables)")
 	fs.StringVar(&o.listenHTTP, "listen-http", "127.0.0.1:8790", "TCP address serving the HTTP API (empty disables)")
 	fs.StringVar(&o.collectors, "collectors", "", "comma-separated BGP speakers to dial and keep sessions with")
@@ -183,6 +186,76 @@ func (o *serveOpts) serveConfig(logf func(string, ...any)) (monitord.Config, err
 	}, nil
 }
 
+// fleetConfig turns parsed flags into a fleet router config. The
+// single-daemon ingest and persistence flags are rejected up front: the
+// router dials no collectors, has no MRT reader, and keeps no RIB
+// snapshot — its shards are rebuilt from the live stream.
+func (o *serveOpts) fleetConfig(logf func(string, ...any)) (fleet.Config, error) {
+	for _, f := range []struct{ name, value string }{
+		{"-collectors", o.collectors},
+		{"-mrt", o.mrtFiles},
+		{"-rib-snapshot", o.ribFile},
+		{"-snapshot", o.snapshot},
+	} {
+		if f.value != "" {
+			return fleet.Config{}, fmt.Errorf(
+				"%s is a single-daemon flag: the fleet router has no collector dialers, MRT ingest, or snapshot persistence", f.name)
+		}
+	}
+	mc, err := o.serveConfig(logf)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	return fleet.Config{
+		Watched: mc.Watched,
+		Shards:  o.fleet,
+		ShardConfig: monitord.Config{
+			Shards:     o.shards,
+			QueueDepth: o.queueDepth,
+			// -learn applies per shard: each shard's learning window spans
+			// the first N updates routed to its own partition.
+			LearnUpdates:   o.learn,
+			UpstreamAlarms: o.upstreamAlarms,
+			AlertBuffer:    o.alertBuffer,
+			Seed:           o.seed,
+		},
+		Speaker:     mc.Speaker,
+		ListenBGP:   mc.ListenBGP,
+		ListenHTTP:  mc.ListenHTTP,
+		AlertBuffer: o.alertBuffer,
+		Seed:        o.seed,
+		Logf:        logf,
+	}, nil
+}
+
+// serveFleet runs the fleet router until SIGINT/SIGTERM — the -fleet
+// arm of the serve subcommand.
+func serveFleet(o *serveOpts, rt *obs.Runtime, logf func(string, ...any)) error {
+	cfg, err := o.fleetConfig(logf)
+	if err != nil {
+		return err
+	}
+	cfg.Registry = rt.Reg
+	cfg.Speaker.Metrics = bgpd.NewMetrics(rt.Reg)
+	r, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	logf("serve: fleet router over %d shards, watching %d prefixes; BGP %s, HTTP %s",
+		o.fleet, len(cfg.Watched), orDisabled(r.BGPAddr()), orDisabled(r.HTTPAddr()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logf("serve: %v received, shutting down...", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		return err
+	}
+	return rt.Close()
+}
+
 // serveCmd runs the monitord daemon until SIGINT/SIGTERM.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -192,6 +265,12 @@ func serveCmd(args []string) error {
 Long-running Tor-prefix route monitor: accepts BGP sessions, ingests
 MRT archives, maintains a live RIB, and serves alerts and metrics over
 HTTP (GET /alerts, /rib, /healthz, /metrics).
+
+With -fleet N the watchlist is hash-sharded across N in-process
+monitord instances behind one router that presents the same BGP and
+HTTP surface (plus GET /anomalies from the Counter-RAPTOR detectors);
+the single-daemon ingest flags (-collectors, -mrt, -rib-snapshot,
+-snapshot) are rejected in fleet mode.
 
 `)
 		fs.PrintDefaults()
@@ -208,6 +287,9 @@ HTTP (GET /alerts, /rib, /healthz, /metrics).
 	}
 	defer rt.Close()
 	logf := func(format string, args ...any) { rt.Log.Info(fmt.Sprintf(format, args...)) }
+	if o.fleet > 0 {
+		return serveFleet(o, rt, logf)
+	}
 	cfg, err := o.serveConfig(logf)
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"quicksand/internal/fleet"
 	"quicksand/internal/monitord"
 )
 
@@ -91,6 +92,75 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("decoding /healthz: %v", err)
 	}
 	if h.Status != "ok" || h.Watched != 1 {
+		t.Errorf("/healthz = %+v", h)
+	}
+}
+
+// TestServeFleetSmoke exercises the -fleet arm of the serve wiring:
+// flag parsing into a fleet config, single-daemon flag rejection, and a
+// live router answering the fleet /healthz.
+func TestServeFleetSmoke(t *testing.T) {
+	watch := filepath.Join(t.TempDir(), "watch.txt")
+	if err := os.WriteFile(watch, []byte("10.0.0.0/16 64496\n10.1.0.0/16 64497\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parse := func(args ...string) *serveOpts {
+		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+		o := serveFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	// Every single-daemon ingest/persistence flag must be rejected.
+	for _, bad := range [][]string{
+		{"-fleet", "2", "-watch", watch, "-collectors", "127.0.0.1:1790"},
+		{"-fleet", "2", "-watch", watch, "-mrt", "updates.mrt"},
+		{"-fleet", "2", "-watch", watch, "-rib-snapshot", "rib.mrt"},
+		{"-fleet", "2", "-watch", watch, "-snapshot", "state.bin"},
+	} {
+		if _, err := parse(bad...).fleetConfig(t.Logf); err == nil ||
+			!strings.Contains(err.Error(), "single-daemon flag") {
+			t.Errorf("fleetConfig(%v): err = %v", bad, err)
+		}
+	}
+
+	o := parse("-fleet", "2", "-watch", watch,
+		"-listen-bgp", "127.0.0.1:0", "-listen-http", "127.0.0.1:0", "-hold", "3s")
+	cfg, err := o.fleetConfig(t.Logf)
+	if err != nil {
+		t.Fatalf("fleetConfig: %v", err)
+	}
+	if cfg.Shards != 2 || len(cfg.Watched) != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	r, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		http.DefaultClient.CloseIdleConnections()
+	}()
+
+	resp, err := http.Get("http://" + r.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if h.Status != "ok" || h.Shards != 2 {
 		t.Errorf("/healthz = %+v", h)
 	}
 }

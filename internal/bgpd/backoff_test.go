@@ -1,0 +1,86 @@
+package bgpd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, time.Second, 1, "peer")
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := b.Current(); got != w*time.Millisecond {
+			t.Fatalf("step %d: Current() = %v, want %v", i, got, w*time.Millisecond)
+		}
+		b.Fail()
+	}
+	b.Reset()
+	if got := b.Current(); got != 10*time.Millisecond {
+		t.Errorf("after Reset: Current() = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffSessionEnded(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, time.Hour, 1, "peer")
+	b.Fail()
+	b.Fail() // 40ms
+
+	// Young session, no updates: keeps doubling.
+	b.SessionEnded(time.Now(), false)
+	if got := b.Current(); got != 80*time.Millisecond {
+		t.Errorf("unhealthy drop: Current() = %v, want 80ms", got)
+	}
+	// Young session that carried updates: resets.
+	b.SessionEnded(time.Now(), true)
+	if got := b.Current(); got != 10*time.Millisecond {
+		t.Errorf("sawUpdate drop: Current() = %v, want 10ms", got)
+	}
+	// Old session: resets even without updates.
+	b.Fail()
+	b.SessionEnded(time.Now().Add(-2*time.Hour), false)
+	if got := b.Current(); got != 10*time.Millisecond {
+		t.Errorf("old-session drop: Current() = %v, want 10ms", got)
+	}
+}
+
+// TestBackoffJitterDeterministic pins that the jitter stream is a pure
+// function of (seed, key): redial schedules are reproducible, and
+// distinct keys decorrelate.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	sleepOnce := func(b *Backoff) time.Duration {
+		start := time.Now()
+		if !b.Sleep(context.Background()) {
+			t.Fatal("Sleep returned false without cancellation")
+		}
+		return time.Since(start)
+	}
+	a1 := NewBackoff(20*time.Millisecond, time.Second, time.Second, 7, "a")
+	a2 := NewBackoff(20*time.Millisecond, time.Second, time.Second, 7, "a")
+	d1, d2 := sleepOnce(a1), sleepOnce(a2)
+	// Same stream: both sleeps target the same jittered duration; allow
+	// generous scheduler slop but require the same order of magnitude.
+	if diff := d1 - d2; diff < -15*time.Millisecond || diff > 15*time.Millisecond {
+		t.Errorf("same (seed,key) slept %v vs %v", d1, d2)
+	}
+	// The jitter factor must stay within [0.5, 1.5).
+	if d1 < 10*time.Millisecond {
+		t.Errorf("jittered sleep %v below 0.5x base", d1)
+	}
+}
+
+func TestBackoffSleepCancel(t *testing.T) {
+	b := NewBackoff(10*time.Second, time.Minute, time.Second, 1, "x")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if b.Sleep(ctx) {
+		t.Fatal("Sleep survived cancellation")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancelled Sleep blocked %v", el)
+	}
+}

@@ -1,0 +1,217 @@
+package defense
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+)
+
+var anomalyPrefix = netip.MustParsePrefix("10.1.0.0/16")
+
+func alertAt(t0 time.Time, offset time.Duration, origin uint32) Alert {
+	return Alert{
+		Time:     t0.Add(offset),
+		Prefix:   anomalyPrefix,
+		Kind:     AlertOriginChange,
+		Observed: bgp.ASN(origin),
+	}
+}
+
+// feed pushes alerts and returns every escalated anomaly.
+func feed(det *AnomalyDetector, alerts ...Alert) []Anomaly {
+	var out []Anomaly
+	for _, a := range alerts {
+		out = append(out, det.Observe(a)...)
+	}
+	return out
+}
+
+func TestAnomalyBootstrapBurst(t *testing.T) {
+	det := NewAnomalyDetector(AnomalyConfig{Window: time.Minute, FreqBootstrap: 4})
+	t0 := time.Unix(1000, 0)
+
+	// Three alerts in the first window: below the bootstrap bar.
+	for i := 0; i < 3; i++ {
+		if got := feed(det, alertAt(t0, time.Duration(i)*time.Second, 666)); len(got) != 0 {
+			t.Fatalf("alert %d escalated prematurely: %+v", i, got)
+		}
+	}
+	// The fourth hits the cold-start threshold, exactly once.
+	got := feed(det, alertAt(t0, 3*time.Second, 666))
+	if len(got) != 1 || got[0].Kind != AnomalyFrequency {
+		t.Fatalf("bootstrap burst = %+v, want one frequency anomaly", got)
+	}
+	if got[0].Score < 1 || got[0].Alerts != 4 || got[0].Prefix != anomalyPrefix {
+		t.Errorf("anomaly = %+v", got[0])
+	}
+	// Further alerts in the same window do not re-fire.
+	if got := feed(det, alertAt(t0, 4*time.Second, 666)); len(got) != 0 {
+		t.Errorf("same-window re-escalation: %+v", got)
+	}
+}
+
+// TestAnomalyBaselineSuppressesChronicChurn pins the Counter-RAPTOR
+// insight: a prefix with noisy history needs a much bigger burst to
+// escalate than its steady rate, while a genuine surge still fires.
+func TestAnomalyBaselineSuppressesChronicChurn(t *testing.T) {
+	det := NewAnomalyDetector(AnomalyConfig{
+		Window: time.Minute, FreqThreshold: 4, FreqBootstrap: 1000, Decay: 0.3,
+	})
+	t0 := time.Unix(1000, 0)
+
+	// Ten windows of steady churn: 5 alerts each, no escalation (the
+	// bootstrap bar is unreachable and a baseline forms).
+	var got []Anomaly
+	for w := 0; w < 10; w++ {
+		for i := 0; i < 5; i++ {
+			off := time.Duration(w)*time.Minute + time.Duration(i)*time.Second
+			got = append(got, feed(det, alertAt(t0, off, 666))...)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("steady churn escalated: %+v", got)
+	}
+
+	// A 40-alert burst in window 10 towers over the baseline (mean ~5,
+	// dev ~0) and must escalate exactly once.
+	for i := 0; i < 40; i++ {
+		off := 10*time.Minute + time.Duration(i)*time.Second
+		got = append(got, feed(det, alertAt(t0, off, 666))...)
+	}
+	if len(got) != 1 || got[0].Kind != AnomalyFrequency || got[0].Score < 1 {
+		t.Fatalf("burst over baseline = %+v, want one frequency anomaly", got)
+	}
+
+	// Back to the steady rate: the baseline (inflated a little by the
+	// burst window) suppresses again.
+	got = got[:0]
+	for w := 11; w < 14; w++ {
+		for i := 0; i < 5; i++ {
+			off := time.Duration(w)*time.Minute + time.Duration(i)*time.Second
+			got = append(got, feed(det, alertAt(t0, off, 666))...)
+		}
+	}
+	if len(got) != 0 {
+		t.Errorf("post-burst steady rate escalated: %+v", got)
+	}
+}
+
+func TestAnomalyOriginFlap(t *testing.T) {
+	det := NewAnomalyDetector(AnomalyConfig{Window: time.Minute, FlapThreshold: 3, FreqBootstrap: 1000})
+	t0 := time.Unix(1000, 0)
+
+	// A↔B fighting: transitions at alerts 2, 3, 4 — the third flip fires.
+	origins := []uint32{64500, 666, 64500, 666, 64500}
+	var got []Anomaly
+	for i, o := range origins {
+		got = append(got, feed(det, alertAt(t0, time.Duration(i)*time.Second, o))...)
+	}
+	if len(got) != 1 || got[0].Kind != AnomalyOriginFlap {
+		t.Fatalf("flap war = %+v, want one origin-flap anomaly", got)
+	}
+	if len(got[0].Origins) != 2 || got[0].Origins[0] != 666 || got[0].Origins[1] != 64500 {
+		t.Errorf("anomaly origins = %v, want sorted [666 64500]", got[0].Origins)
+	}
+
+	// A stable (if bogus) origin never flap-escalates.
+	det2 := NewAnomalyDetector(AnomalyConfig{Window: time.Minute, FlapThreshold: 3, FreqBootstrap: 1000})
+	for i := 0; i < 20; i++ {
+		if got := feed(det2, alertAt(t0, time.Duration(i)*time.Second, 666)); len(got) != 0 {
+			t.Fatalf("stable origin escalated: %+v", got)
+		}
+	}
+}
+
+// TestAnomalyWindowReset pins that counters and the per-window
+// escalation latches reset at window boundaries, and that a long quiet
+// gap decays the baseline instead of looping or wedging.
+func TestAnomalyWindowReset(t *testing.T) {
+	det := NewAnomalyDetector(AnomalyConfig{Window: time.Minute, FlapThreshold: 2, FreqBootstrap: 1000})
+	t0 := time.Unix(1000, 0)
+
+	// Two flips in window 0 escalate...
+	feed(det, alertAt(t0, 0, 1), alertAt(t0, time.Second, 2))
+	got := feed(det, alertAt(t0, 2*time.Second, 1))
+	if len(got) != 1 || got[0].Kind != AnomalyOriginFlap {
+		t.Fatalf("window 0 flaps = %+v", got)
+	}
+	// ...and the same pattern escalates again in a later window (the
+	// latch must reset), even after a year-long gap.
+	later := 370 * 24 * time.Hour
+	feed(det, alertAt(t0, later, 1), alertAt(t0, later+time.Second, 2))
+	got = feed(det, alertAt(t0, later+2*time.Second, 1))
+	if len(got) != 1 || got[0].Kind != AnomalyOriginFlap {
+		t.Fatalf("post-gap flaps = %+v, want a fresh escalation", got)
+	}
+
+	observed, escalated := det.Totals()
+	if observed != 6 || escalated[AnomalyOriginFlap] != 2 || escalated[AnomalyFrequency] != 0 {
+		t.Errorf("Totals = %d, %v", observed, escalated)
+	}
+}
+
+// TestAnomalyDeterministic pins replay determinism: the same alert
+// stream escalates identically, alert-for-alert, on every run — the
+// analytics consume alert timestamps, never the wall clock.
+func TestAnomalyDeterministic(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	run := func() []Anomaly {
+		det := NewAnomalyDetector(AnomalyConfig{Window: 30 * time.Second, FreqBootstrap: 3, FlapThreshold: 2})
+		var out []Anomaly
+		for i := 0; i < 200; i++ {
+			out = append(out, det.Observe(alertAt(t0, time.Duration(i*7)*time.Second, uint32(600+i%3)))...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("stream escalated nothing; test is vacuous")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree: %d vs %d anomalies", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !a[i].Time.Equal(b[i].Time) || a[i].Score != b[i].Score {
+			t.Errorf("anomaly %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAnomalyConcurrentPrefixes(t *testing.T) {
+	det := NewAnomalyDetector(AnomalyConfig{Window: time.Minute, FreqBootstrap: 4})
+	t0 := time.Unix(1000, 0)
+	var wg sync.WaitGroup
+	counts := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := netip.MustParsePrefix(netip.AddrFrom4([4]byte{10, byte(g), 0, 0}).String() + "/16")
+			for i := 0; i < 50; i++ {
+				a := Alert{Time: t0.Add(time.Duration(i) * time.Second), Prefix: p, Observed: 666}
+				counts[g] += len(det.Observe(a))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, n := range counts {
+		if n != 1 {
+			t.Errorf("prefix %d escalated %d times, want exactly 1", g, n)
+		}
+	}
+	if observed, _ := det.Totals(); observed != 400 {
+		t.Errorf("observed = %d, want 400", observed)
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	if AnomalyFrequency.String() != "frequency-burst" || AnomalyOriginFlap.String() != "origin-flap" {
+		t.Errorf("kind strings: %q, %q", AnomalyFrequency, AnomalyOriginFlap)
+	}
+	if s := AnomalyKind(99).String(); s != "AnomalyKind(99)" {
+		t.Errorf("unknown kind = %q", s)
+	}
+}

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/defense"
+	"quicksand/internal/monitord"
+)
+
+// startShardDaemon boots one remote-mode shard daemon watching its
+// partition, on the given (possibly ":0") addresses.
+func startShardDaemon(t *testing.T, idx int, watched map[netip.Prefix]bgp.ASN, bgpAddr, httpAddr string) *monitord.Daemon {
+	t.Helper()
+	d, err := monitord.New(monitord.Config{
+		Watched: watched,
+		Speaker: bgpd.Config{
+			ASN: bgp.ASN(64510 + idx), BGPID: netip.AddrFrom4([4]byte{198, 51, 100, byte(10 + idx)}),
+		},
+		ListenBGP:  bgpAddr,
+		ListenHTTP: httpAddr,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("shard daemon %d: %v", idx, err)
+	}
+	return d
+}
+
+// TestFleetShardDeathFailover kills one remote shard mid-stream and
+// checks the three failover guarantees: the surviving shard's watched
+// prefixes lose no alerts, the dead shard's forwarder redials a bounded
+// number of times on the backoff schedule (extending the PR 6
+// flapping-collector bound to the router), and updates buffered during
+// the outage replay after the shard returns on the same address.
+func TestFleetShardDeathFailover(t *testing.T) {
+	// Build a watchlist that provably populates both shards: walk
+	// 10.N.0.0/16 candidates until the hash partition has given each
+	// shard one prefix, so the test exercises both a victim and a
+	// survivor regardless of FNV luck.
+	watched := map[netip.Prefix]bgp.ASN{}
+	var p0, p1 netip.Prefix
+	for i := 0; i < 256 && (!p0.IsValid() || !p1.IsValid()); i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		switch OwnerOf(p, 2) {
+		case 0:
+			if !p0.IsValid() {
+				p0 = p
+				watched[p] = 65010
+			}
+		case 1:
+			if !p1.IsValid() {
+				p1 = p
+				watched[p] = 65020
+			}
+		}
+	}
+	parts := Partition(watched, 2)
+	d0 := startShardDaemon(t, 0, parts[0], "127.0.0.1:0", "127.0.0.1:0")
+	bgp0, http0 := d0.BGPAddr(), d0.HTTPAddr()
+	d1 := startShardDaemon(t, 1, parts[1], "127.0.0.1:0", "127.0.0.1:0")
+	defer d1.Shutdown(context.Background())
+
+	r, err := New(Config{
+		Watched: watched,
+		Remotes: []RemoteShard{
+			{Name: "victim", BGPAddr: bgp0, HTTPAddr: http0},
+			{Name: "survivor", BGPAddr: d1.BGPAddr(), HTTPAddr: d1.HTTPAddr()},
+		},
+		Speaker: bgpd.Config{
+			ASN: 64400, BGPID: netip.MustParseAddr("198.51.100.1"),
+		},
+		MergeInterval:   5 * time.Millisecond,
+		DialBackoffBase: 20 * time.Millisecond,
+		DialBackoffMax:  160 * time.Millisecond,
+		Seed:            7,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+
+	waitFor(t, 5*time.Second, "both forwarders up", func() bool {
+		return r.met.shardUp[0].Value() > 0 && r.met.shardUp[1].Value() > 0
+	})
+
+	src := r.RegisterSource("sim", 64601)
+	now := time.Now()
+	countAlerts := func(prefix netip.Prefix, origin bgp.ASN) int {
+		alerts, _, _ := r.Alerts(0, 0)
+		n := 0
+		for _, a := range alerts {
+			if a.Prefix == prefix && a.Observed == origin && a.Kind == defense.AlertOriginChange {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Round 1: both shards up, one hijack each; both alerts must merge.
+	if err := r.Ingest(src, now, p0, []bgp.ASN{64601, 991}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(src, now, p1, []bgp.ASN{64601, 992}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "round-1 alerts from both shards", func() bool {
+		return countAlerts(p0, 991) == 1 && countAlerts(p1, 992) == 1
+	})
+
+	// Kill shard 0 and wait for the forwarder to notice.
+	if err := d0.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "victim forwarder down", func() bool {
+		return r.met.shardUp[0].Value() == 0
+	})
+
+	// Round 2 during the outage: the victim's hijack buffers, the
+	// survivor's flows through undisturbed.
+	if err := r.Ingest(src, now, p0, []bgp.ASN{64601, 993}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(src, now, p1, []bgp.ASN{64601, 994}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "survivor alert during outage", func() bool {
+		return countAlerts(p1, 994) == 1
+	})
+	if n := countAlerts(p0, 993); n != 0 {
+		t.Fatalf("victim alert appeared while its shard is down (%d)", n)
+	}
+	if got := r.remotes[0].queued.Load(); got < 1 {
+		t.Fatalf("victim queue depth %d, want >= 1 buffered update", got)
+	}
+
+	// Let the dead window span several backoff periods, then bound the
+	// redial count: with base 20ms doubling to 160ms, ~240ms of death
+	// allows at most a handful of attempts — not a tight retry spin, not
+	// zero. (Same bound shape as the flapping-collector test.)
+	time.Sleep(240 * time.Millisecond)
+	if dials := r.met.redials[0].Value(); dials < 1 || dials > 15 {
+		t.Fatalf("victim redials = %v, want within [1,15]", dials)
+	}
+	if surv := r.met.redials[1].Value(); surv != 0 {
+		t.Fatalf("survivor redialed %v times during victim outage", surv)
+	}
+	if n := countAlerts(p1, 994); n != 1 {
+		t.Fatalf("survivor alert count changed to %d during outage", n)
+	}
+
+	// Resurrect shard 0 on the same addresses: the forwarder's next
+	// redial replays the buffered update, and the merger resyncs its
+	// cursor against the fresh alert ring (ahead-cursor clamp).
+	d0b := startShardDaemon(t, 0, parts[0], bgp0, http0)
+	defer d0b.Shutdown(context.Background())
+	waitFor(t, 10*time.Second, "victim forwarder re-established", func() bool {
+		return r.met.shardUp[0].Value() > 0
+	})
+	waitFor(t, 10*time.Second, "buffered hijack replayed after restart", func() bool {
+		return countAlerts(p0, 993) == 1
+	})
+	if got := r.met.forwardDropped[0].Value(); got != 0 {
+		t.Fatalf("forwarder dropped %v updates; buffer should have absorbed the outage", got)
+	}
+}

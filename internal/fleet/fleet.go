@@ -1,0 +1,635 @@
+// Package fleet shards the monitord watchlist horizontally: a router
+// hash-partitions the Tor-prefix watchlist across N monitord instances
+// (in-process shards or remote daemons) and forwards each UPDATE only to
+// the shard owning a matching watched prefix. Routing is
+// longest-prefix-aware — a *more-specific* hijack of a watched prefix
+// reaches the shard owning the covering prefix, the case naive
+// prefix-hashing misroutes — and everything else is rejected at the
+// router without ever touching a shard pipeline, which is where the
+// fleet's throughput win comes from: under real load almost all traffic
+// is unwatched background churn, and the PR 9 stage histograms show the
+// single daemon spending its saturation budget dispatching exactly that
+// traffic.
+//
+// The router exposes the same HTTP surface as a single daemon: /alerts
+// serves a merged stream with one monotonic cursor backed by a vector of
+// per-shard cursors, /healthz aggregates shard health, /metrics merges
+// the fleet_* families with every shard's monitord_* families via the
+// obs scraper/merger, and /rib proxies to the owning shard. On the
+// merged stream, Counter-RAPTOR-style detectors (defense.AnomalyDetector)
+// escalate raw alerts to scored anomalies served on /anomalies.
+//
+// Remote shards are forwarded over real BGP sessions with buffered
+// redial + replay on the collector backoff schedule (bgpd.Backoff): a
+// dead shard's updates queue in a bounded buffer and replay when the
+// forwarder re-establishes, so a shard restart loses nothing that fits
+// the buffer. Remote mode trades two fidelities for isolation: alert
+// Session ids are the remote daemon's, and semantic timestamps are
+// re-stamped at the remote's socket (BGP carries no timestamps).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/defense"
+	"quicksand/internal/monitord"
+	"quicksand/internal/obs"
+)
+
+// RemoteShard names one remote monitord instance behind the router.
+type RemoteShard struct {
+	// Name labels the shard in health output (default "shard<i>").
+	Name string
+	// BGPAddr is the daemon's BGP listener, the forwarding target.
+	BGPAddr string
+	// HTTPAddr is the daemon's HTTP root ("host:port"), polled for
+	// alerts and scraped for metrics.
+	HTTPAddr string
+}
+
+// Config parameterises the router.
+type Config struct {
+	// Watched maps each monitored prefix to its legitimate origin AS
+	// (required, non-empty, IPv4 only). The router partitions it across
+	// the shards with Partition.
+	Watched map[netip.Prefix]bgp.ASN
+
+	// Shards is the number of in-process monitord shards to run
+	// (default 2). Ignored when Remotes is non-empty.
+	Shards int
+	// Remotes switches the router to remote mode: one forwarder per
+	// listed daemon, no in-process shards.
+	Remotes []RemoteShard
+
+	// ShardConfig is the template for in-process shard daemons. The
+	// router overrides Watched (the shard's partition), the listeners
+	// (in-process shards serve no BGP or HTTP), Collectors (none) and
+	// Registry (one private registry per shard, aggregated by the
+	// router's /metrics); every other knob — pipeline widths, alert
+	// buffer, learning window, latency instrumentation, seed — passes
+	// through to each shard.
+	ShardConfig monitord.Config
+
+	// Speaker is the router's BGP identity for inbound sessions and
+	// outbound forwarding sessions.
+	Speaker bgpd.Config
+	// ListenBGP accepts inbound BGP sessions ("" disables).
+	ListenBGP string
+	// ListenHTTP serves the fleet HTTP API ("" disables).
+	ListenHTTP string
+
+	// ReadBatch bounds UPDATEs decoded per session read (default 64).
+	ReadBatch int
+	// AlertBuffer is the merged alert ring capacity (default 8192).
+	AlertBuffer int
+	// MergeInterval is the shard-ring poll period (default 2ms).
+	MergeInterval time.Duration
+	// ForwardBuffer bounds the per-remote replay queue (default 8192
+	// updates); overflow while a shard is down is dropped and counted.
+	ForwardBuffer int
+
+	// Anomaly parameterises the Counter-RAPTOR detectors on the merged
+	// stream (zero value: defense.AnomalyConfig defaults).
+	Anomaly defense.AnomalyConfig
+	// AnomalyBuffer bounds the recent anomalies kept for /anomalies
+	// (default 256).
+	AnomalyBuffer int
+
+	// EstablishTimeout bounds every session handshake (default 10s).
+	EstablishTimeout time.Duration
+	// DialBackoffBase/Max/HealthyAfter parameterise the forwarder
+	// redial schedule exactly like monitord's collector dialers
+	// (defaults 500ms / 30s / 30s).
+	DialBackoffBase  time.Duration
+	DialBackoffMax   time.Duration
+	DialHealthyAfter time.Duration
+	// Seed derives forwarder backoff jitter (default 1).
+	Seed int64
+
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+	// Registry receives the router's fleet_* families (nil: private).
+	Registry *obs.Registry
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 2
+	}
+	if out.ReadBatch <= 0 {
+		out.ReadBatch = 64
+	}
+	if out.AlertBuffer <= 0 {
+		out.AlertBuffer = 8192
+	}
+	if out.MergeInterval <= 0 {
+		out.MergeInterval = 2 * time.Millisecond
+	}
+	if out.ForwardBuffer <= 0 {
+		out.ForwardBuffer = 8192
+	}
+	if out.AnomalyBuffer <= 0 {
+		out.AnomalyBuffer = 256
+	}
+	if out.EstablishTimeout <= 0 {
+		out.EstablishTimeout = 10 * time.Second
+	}
+	if out.DialBackoffBase <= 0 {
+		out.DialBackoffBase = 500 * time.Millisecond
+	}
+	if out.DialBackoffMax <= 0 {
+		out.DialBackoffMax = 30 * time.Second
+	}
+	if out.DialHealthyAfter <= 0 {
+		out.DialHealthyAfter = 30 * time.Second
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// routerSession is the registry row for one update source feeding the
+// router (an inbound BGP peer or an in-process Ingest source).
+type routerSession struct {
+	id      int
+	peerAS  bgp.ASN
+	remote  string
+	source  string // "bgp", "local"
+	sess    *bgpd.Session
+	started time.Time
+	updates atomic.Uint64
+	closed  atomic.Bool
+	// shardIDs maps shard index -> that shard daemon's session id for
+	// this source (in-process mode). The router registers sources in
+	// every shard in one critical section, so shardIDs[i] == id on all
+	// shards — which is what makes fleet alerts carry the same Session
+	// as a single daemon's would.
+	shardIDs []int
+}
+
+// sink is one shard's forwarding endpoint.
+type sink interface {
+	// register mirrors a router session into the shard (in-process).
+	register(rs *routerSession, name string, peer bgp.ASN)
+	// forward delivers one prefix-level update.
+	forward(rs *routerSession, t time.Time, prefix netip.Prefix, path []bgp.ASN)
+	// quiesce waits (until deadline) for delivered work to be visible.
+	quiesce(deadline time.Time) bool
+}
+
+// Router is a running fleet front-end. Create with New, stop with
+// Shutdown.
+type Router struct {
+	cfg   Config
+	table *watchTable
+	met   *metrics
+
+	sinks   []sink
+	shards  []*monitord.Daemon // in-process mode; nil entries otherwise
+	regs    []*obs.Registry    // in-process shard registries
+	remotes []*remoteSink      // remote mode; nil entries otherwise
+
+	det    *defense.AnomalyDetector
+	anomMu sync.Mutex
+	anoms  []defense.Anomaly // bounded recent window
+
+	mrg *merger
+
+	bgpLn   net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+	httpErr chan error
+
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	sessWG     sync.WaitGroup
+	fwdWG      sync.WaitGroup
+
+	mu       sync.Mutex
+	rawConns map[net.Conn]struct{}
+	sessions map[int]*routerSession
+	nextSess int
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New validates cfg, builds the shard fleet (boots in-process shard
+// daemons or starts remote forwarders), binds the listeners, and starts
+// the merger. The router runs until Shutdown.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Watched) == 0 {
+		return nil, errors.New("fleet: Watched must name at least one prefix")
+	}
+	n := cfg.Shards
+	if len(cfg.Remotes) > 0 {
+		n = len(cfg.Remotes)
+	}
+	table, err := newWatchTable(cfg.Watched, n)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		table:    table,
+		met:      newFleetMetrics(cfg.Registry, n),
+		det:      defense.NewAnomalyDetector(cfg.Anomaly),
+		rawConns: make(map[net.Conn]struct{}),
+		sessions: make(map[int]*routerSession),
+	}
+	r.dialCtx, r.dialCancel = context.WithCancel(context.Background())
+
+	parts := Partition(cfg.Watched, n)
+	srcs := make([]AlertSource, n)
+	if len(cfg.Remotes) > 0 {
+		r.remotes = make([]*remoteSink, n)
+		for i, rem := range cfg.Remotes {
+			if rem.BGPAddr == "" || rem.HTTPAddr == "" {
+				r.shutdownPartial()
+				return nil, fmt.Errorf("fleet: remote shard %d needs BGPAddr and HTTPAddr", i)
+			}
+			rs := newRemoteSink(r, i, rem)
+			r.remotes[i] = rs
+			r.sinks = append(r.sinks, rs)
+			srcs[i] = &HTTPAlerts{Base: "http://" + rem.HTTPAddr}
+			r.fwdWG.Add(1)
+			go rs.run()
+		}
+	} else {
+		r.shards = make([]*monitord.Daemon, n)
+		r.regs = make([]*obs.Registry, n)
+		r.remotes = make([]*remoteSink, n) // all nil; len used by collectors
+		for i := 0; i < n; i++ {
+			sc := cfg.ShardConfig
+			sc.Watched = parts[i]
+			sc.ListenBGP, sc.ListenHTTP = "", ""
+			sc.Collectors = nil
+			sc.Registry = obs.NewRegistry()
+			sc.Logf = cfg.Logf
+			if len(sc.Watched) == 0 {
+				// monitord refuses an empty watchlist; an empty partition
+				// (more shards than prefixes) still needs a live daemon so
+				// shard indexes stay aligned. Watch an unroutable sentinel
+				// the router will never forward to.
+				sc.Watched = map[netip.Prefix]bgp.ASN{
+					netip.MustParsePrefix("192.0.2.0/24"): 64496, // TEST-NET-1
+				}
+			}
+			d, err := monitord.New(sc)
+			if err != nil {
+				r.shutdownPartial()
+				return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+			}
+			r.shards[i] = d
+			r.regs[i] = sc.Registry
+			r.sinks = append(r.sinks, &inprocSink{idx: i, d: d})
+			srcs[i] = d
+			r.met.shardUp[i].Set(1)
+		}
+	}
+	r.met.registerCollectors(r)
+	r.mrg = newMerger(r, srcs, cfg.AlertBuffer)
+	go r.mrg.loop(cfg.MergeInterval)
+
+	if cfg.ListenBGP != "" {
+		if r.bgpLn, err = net.Listen("tcp", cfg.ListenBGP); err != nil {
+			r.shutdownPartial()
+			return nil, fmt.Errorf("fleet: BGP listener: %w", err)
+		}
+		r.sessWG.Add(1)
+		go r.acceptLoop()
+		cfg.Logf("fleet: BGP listening on %s (%d shards)", r.bgpLn.Addr(), n)
+	}
+	if cfg.ListenHTTP != "" {
+		if r.httpLn, err = net.Listen("tcp", cfg.ListenHTTP); err != nil {
+			r.shutdownPartial()
+			return nil, fmt.Errorf("fleet: HTTP listener: %w", err)
+		}
+		r.httpSrv = &http.Server{Handler: r.handler()}
+		r.httpErr = make(chan error, 1)
+		go func() { r.httpErr <- r.httpSrv.Serve(r.httpLn) }()
+		cfg.Logf("fleet: HTTP listening on %s", r.httpLn.Addr())
+	}
+	return r, nil
+}
+
+// shutdownPartial tears down whatever New built before failing.
+func (r *Router) shutdownPartial() {
+	r.dialCancel()
+	if r.mrg != nil {
+		r.mrg.shutdown()
+	}
+	r.fwdWG.Wait()
+	for _, d := range r.shards {
+		if d != nil {
+			d.Shutdown(context.Background())
+		}
+	}
+	if r.bgpLn != nil {
+		r.bgpLn.Close()
+	}
+}
+
+// BGPAddr returns the bound BGP listener address ("" when disabled).
+func (r *Router) BGPAddr() string {
+	if r.bgpLn == nil {
+		return ""
+	}
+	return r.bgpLn.Addr().String()
+}
+
+// HTTPAddr returns the bound HTTP listener address ("" when disabled).
+func (r *Router) HTTPAddr() string {
+	if r.httpLn == nil {
+		return ""
+	}
+	return r.httpLn.Addr().String()
+}
+
+// Shards returns how many shards sit behind the router.
+func (r *Router) Shards() int { return len(r.sinks) }
+
+// Alerts serves the merged stream under the single-daemon cursor
+// contract (see monitord.Daemon.Alerts), including the ahead-cursor
+// resync clamp. Every call first drains the shard rings, so alerts
+// visible on a quiesced shard are visible here.
+func (r *Router) Alerts(cursor uint64, max int) (alerts []monitord.SeqAlert, next uint64, dropped uint64) {
+	return r.mrg.since(cursor, max)
+}
+
+// Anomalies returns the recent escalated anomalies (newest last) plus
+// lifetime totals from the detectors.
+func (r *Router) Anomalies() (recent []defense.Anomaly, observed uint64, escalated map[defense.AnomalyKind]uint64) {
+	r.anomMu.Lock()
+	recent = append([]defense.Anomaly(nil), r.anoms...)
+	r.anomMu.Unlock()
+	observed, escalated = r.det.Totals()
+	return recent, observed, escalated
+}
+
+func (r *Router) recordAnomaly(an defense.Anomaly) {
+	if int(an.Kind) >= 0 && int(an.Kind) < len(r.met.anomalies) {
+		r.met.anomalies[an.Kind].Inc()
+	}
+	r.cfg.Logf("fleet: anomaly %s on %v score=%.2f (%d alerts in window)",
+		an.Kind, an.Prefix, an.Score, an.Alerts)
+	r.anomMu.Lock()
+	r.anoms = append(r.anoms, an)
+	if over := len(r.anoms) - r.cfg.AnomalyBuffer; over > 0 {
+		r.anoms = append(r.anoms[:0], r.anoms[over:]...)
+	}
+	r.anomMu.Unlock()
+}
+
+// RegisterSource allocates a session id for an in-process update source
+// (tests, simulation streams), mirroring it into every in-process shard
+// so shard-local session ids match the router's.
+func (r *Router) RegisterSource(name string, peer bgp.ASN) int {
+	rs := r.registerSession(nil, name, "local", peer)
+	return rs.id
+}
+
+// registerSession allocates the router session id and mirrors the
+// source into every shard inside one critical section — concurrent
+// handshakes must not interleave their per-shard registrations, or
+// shard-local ids would diverge from router ids.
+func (r *Router) registerSession(sess *bgpd.Session, remote, source string, peer bgp.ASN) *routerSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := &routerSession{
+		id: r.nextSess, sess: sess, remote: remote, source: source,
+		peerAS: peer, started: time.Now(),
+		shardIDs: make([]int, len(r.sinks)),
+	}
+	r.nextSess++
+	r.sessions[rs.id] = rs
+	for _, s := range r.sinks {
+		s.register(rs, remote, peer)
+	}
+	r.met.sessionsAccepted.Add(1)
+	r.met.sessionsActive.Add(1)
+	return rs
+}
+
+func (r *Router) closeSession(rs *routerSession) {
+	if rs.closed.CompareAndSwap(false, true) {
+		r.met.sessionsActive.Add(-1)
+	}
+	if rs.sess != nil {
+		rs.sess.Close()
+	}
+}
+
+// Ingest feeds one update through the router as if received on the
+// given source session: route to the owning shard or reject as
+// unwatched. A nil path is a withdrawal.
+func (r *Router) Ingest(session int, t time.Time, prefix netip.Prefix, path []bgp.ASN) error {
+	r.mu.Lock()
+	rs, ok := r.sessions[session]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: unknown session %d", session)
+	}
+	r.route(rs, t, prefix, path)
+	return nil
+}
+
+// route is the per-update hot path: validate, consult the watch table,
+// and forward to the owning shard or count the rejection.
+func (r *Router) route(rs *routerSession, t time.Time, prefix netip.Prefix, path []bgp.ASN) {
+	if !prefix.IsValid() || !prefix.Addr().Is4() {
+		r.met.droppedNonIPv4.Inc()
+		return
+	}
+	shard, ok := r.table.route(prefix)
+	if !ok {
+		r.met.unwatched.Inc()
+		return
+	}
+	rs.updates.Add(1)
+	r.met.forwarded[shard].Inc()
+	r.sinks[shard].forward(rs, t, prefix, path)
+}
+
+// acceptLoop accepts inbound BGP connections until the listener closes.
+func (r *Router) acceptLoop() {
+	defer r.sessWG.Done()
+	for {
+		conn, err := r.bgpLn.Accept()
+		if err != nil {
+			return
+		}
+		if !r.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		r.sessWG.Add(1)
+		go r.handleConn(conn)
+	}
+}
+
+func (r *Router) trackConn(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rawConns == nil {
+		return false
+	}
+	r.rawConns[conn] = struct{}{}
+	return true
+}
+
+func (r *Router) untrackConn(conn net.Conn) {
+	r.mu.Lock()
+	if r.rawConns != nil {
+		delete(r.rawConns, conn)
+	}
+	r.mu.Unlock()
+}
+
+// handleConn runs the OPEN handshake, registers the session in every
+// shard, then routes its updates until the session drops.
+func (r *Router) handleConn(conn net.Conn) {
+	defer r.sessWG.Done()
+	conn.SetDeadline(time.Now().Add(r.cfg.EstablishTimeout))
+	sess, err := bgpd.Establish(conn, r.cfg.Speaker)
+	r.untrackConn(conn)
+	if err != nil {
+		conn.Close()
+		r.cfg.Logf("fleet: handshake from %v failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	rs := r.registerSession(sess, conn.RemoteAddr().String(), "bgp", sess.PeerAS())
+	r.cfg.Logf("fleet: session %d established with AS%d (%s)", rs.id, uint32(rs.peerAS), rs.remote)
+	r.readLoop(sess, rs)
+}
+
+// readLoop decodes update batches and routes each prefix-level update.
+// The semantic timestamp is the batch receive stamp, like monitord's.
+func (r *Router) readLoop(sess *bgpd.Session, rs *routerSession) {
+	defer r.closeSession(rs)
+	batch := make([]bgp.Update, r.cfg.ReadBatch)
+	for {
+		n, start, err := sess.RecvUpdateBatchStamped(batch)
+		for i := range batch[:n] {
+			u := &batch[i]
+			for _, p := range u.Withdrawn {
+				r.route(rs, start, p, nil)
+			}
+			if len(u.NLRI) == 0 {
+				continue
+			}
+			if !u.Attrs.HasASPath {
+				r.met.droppedNoPath.Add(uint64(len(u.NLRI)))
+				continue
+			}
+			path := flattenPath(u.Attrs.ASPath)
+			for _, p := range u.NLRI {
+				r.route(rs, start, p, path)
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, bgpd.ErrClosed) {
+				r.cfg.Logf("fleet: session %d down: %v", rs.id, err)
+			}
+			return
+		}
+	}
+}
+
+// emptyPath keeps a present-but-empty AS_PATH distinguishable from a
+// withdrawal through flattening (see monitord's item contract).
+var emptyPath = []bgp.ASN{}
+
+func flattenPath(p bgp.ASPath) []bgp.ASN {
+	out := emptyPath
+	for _, s := range p.Segments {
+		out = append(out, s.ASes...)
+	}
+	return out
+}
+
+// WaitQuiesce blocks until every forwarded update is visible in shard
+// state and the merged stream, or the timeout elapses.
+func (r *Router) WaitQuiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	ok := true
+	for _, s := range r.sinks {
+		ok = s.quiesce(deadline) && ok
+	}
+	// Drain whatever the quiesced shards just appended.
+	r.mrg.mu.Lock()
+	r.mrg.pollLocked()
+	r.mrg.mu.Unlock()
+	return ok
+}
+
+// Shutdown gracefully stops the router: no new sessions, every live
+// session closed, forwarders drained, in-process shards shut down, the
+// merger stopped after a final sweep, and the HTTP server stopped. It
+// is idempotent; ctx bounds only the HTTP drain.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.shutOnce.Do(func() {
+		r.dialCancel()
+		if r.bgpLn != nil {
+			r.bgpLn.Close()
+		}
+		r.mu.Lock()
+		raw := make([]net.Conn, 0, len(r.rawConns))
+		for c := range r.rawConns {
+			raw = append(raw, c)
+		}
+		r.rawConns = nil
+		sess := make([]*routerSession, 0, len(r.sessions))
+		for _, rs := range r.sessions {
+			sess = append(sess, rs)
+		}
+		r.mu.Unlock()
+		for _, c := range raw {
+			c.Close()
+		}
+		for _, rs := range sess {
+			r.closeSession(rs)
+		}
+		r.sessWG.Wait()
+		// No producers remain: stop the forwarders, then the shards.
+		r.fwdWG.Wait()
+		for _, d := range r.shards {
+			if d != nil {
+				if err := d.Shutdown(ctx); err != nil && r.shutErr == nil {
+					r.shutErr = err
+				}
+			}
+		}
+		// Final merge sweep happens inside mrg.shutdown — but only
+		// in-process sources still answer; remote polls may fail (their
+		// daemons are not ours to stop) and that is fine.
+		r.mrg.shutdown()
+		if r.httpSrv != nil {
+			if err := r.httpSrv.Shutdown(ctx); err != nil && r.shutErr == nil {
+				r.shutErr = err
+			}
+			if err := <-r.httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) && r.shutErr == nil {
+				r.shutErr = err
+			}
+		}
+		r.cfg.Logf("fleet: shutdown complete (%d alerts merged)", r.mrg.ring.total())
+	})
+	return r.shutErr
+}

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"net"
+	"net/netip"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpd"
+	"quicksand/internal/monitord"
+)
+
+// forwardBatch bounds how many queued updates a remote forwarder encodes
+// into one SendRaw write.
+const forwardBatch = 128
+
+// inprocSink forwards straight into a shard daemon's ingest path —
+// no sockets, no encoding, backpressure handled by the daemon's own
+// bounded shard queues.
+type inprocSink struct {
+	idx int
+	d   *monitord.Daemon
+}
+
+func (s *inprocSink) register(rs *routerSession, name string, peer bgp.ASN) {
+	rs.shardIDs[s.idx] = s.d.RegisterSource(name, peer)
+}
+
+func (s *inprocSink) forward(rs *routerSession, t time.Time, prefix netip.Prefix, path []bgp.ASN) {
+	s.d.Ingest(rs.shardIDs[s.idx], t, prefix, path)
+}
+
+func (s *inprocSink) quiesce(deadline time.Time) bool {
+	return s.d.WaitQuiesce(time.Until(deadline))
+}
+
+// fwdItem is one buffered update awaiting delivery to a remote shard.
+// A nil path is a withdrawal; the semantic timestamp is intentionally
+// absent — BGP carries none, so remote shards re-stamp on receipt.
+type fwdItem struct {
+	prefix netip.Prefix
+	path   []bgp.ASN
+}
+
+// append encodes the item as one UPDATE message onto raw.
+func (it fwdItem) append(raw []byte, as4 bool) ([]byte, error) {
+	var u bgp.Update
+	if it.path == nil {
+		u.Withdrawn = []netip.Prefix{it.prefix}
+	} else {
+		u.NLRI = []netip.Prefix{it.prefix}
+		u.Attrs = bgp.PathAttributes{
+			HasOrigin: true, Origin: bgp.OriginIGP,
+			HasASPath: true,
+			NextHop:   netip.AddrFrom4([4]byte{203, 0, 113, 1}),
+		}
+		if len(it.path) > 0 {
+			u.Attrs.ASPath = bgp.Sequence(it.path...)
+		}
+	}
+	return u.AppendMessage(raw, as4)
+}
+
+// remoteSink forwards updates to a remote monitord over a real BGP
+// session. Updates queue in a bounded channel; a dead shard triggers
+// redial on the collector backoff schedule while the queue absorbs the
+// outage, and undelivered items carry over to the next session — replay
+// after redial. Queue overflow while the shard is down is dropped and
+// counted rather than blocking the router's read loops.
+type remoteSink struct {
+	r      *Router
+	idx    int
+	shard  RemoteShard
+	ch     chan fwdItem
+	queued atomic.Int64
+}
+
+func newRemoteSink(r *Router, idx int, shard RemoteShard) *remoteSink {
+	if shard.Name == "" {
+		shard.Name = "shard" + strconv.Itoa(idx)
+	}
+	return &remoteSink{
+		r:     r,
+		idx:   idx,
+		shard: shard,
+		ch:    make(chan fwdItem, r.cfg.ForwardBuffer),
+	}
+}
+
+// register is a no-op: the remote daemon registers its own session when
+// the forwarder's handshake completes, so remote-mode alerts carry the
+// remote daemon's session ids (a documented fidelity trade).
+func (rs *remoteSink) register(*routerSession, string, bgp.ASN) {}
+
+func (rs *remoteSink) forward(_ *routerSession, _ time.Time, prefix netip.Prefix, path []bgp.ASN) {
+	rs.queued.Add(1)
+	select {
+	case rs.ch <- fwdItem{prefix: prefix, path: path}:
+	default:
+		rs.queued.Add(-1)
+		rs.r.met.forwardDropped[rs.idx].Inc()
+	}
+}
+
+// quiesce waits for the replay queue to drain — everything handed to the
+// forwarder has been written to the remote. The remote daemon's own
+// pipeline latency is invisible from here; callers polling its alerts
+// endpoint absorb that the usual way.
+func (rs *remoteSink) quiesce(deadline time.Time) bool {
+	for rs.queued.Load() > 0 {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// run is the forwarder goroutine: dial, establish, pump until the
+// session drops, back off, repeat. Exits when the router shuts down.
+func (rs *remoteSink) run() {
+	defer rs.r.fwdWG.Done()
+	bo := bgpd.NewBackoff(rs.r.cfg.DialBackoffBase, rs.r.cfg.DialBackoffMax,
+		rs.r.cfg.DialHealthyAfter, rs.r.cfg.Seed, "fleet-fwd-"+rs.shard.Name)
+	var pending []fwdItem
+	var dialer net.Dialer
+	for {
+		if rs.r.dialCtx.Err() != nil {
+			return
+		}
+		conn, err := dialer.DialContext(rs.r.dialCtx, "tcp", rs.shard.BGPAddr)
+		if err != nil {
+			rs.r.met.redials[rs.idx].Inc()
+			rs.r.cfg.Logf("fleet: forwarder %s: dial %s failed: %v (retry in %v)",
+				rs.shard.Name, rs.shard.BGPAddr, err, bo.Current())
+			if !bo.Sleep(rs.r.dialCtx) {
+				return
+			}
+			bo.Fail()
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(rs.r.cfg.EstablishTimeout))
+		sess, err := bgpd.Establish(conn, rs.r.cfg.Speaker)
+		if err != nil {
+			conn.Close()
+			rs.r.met.redials[rs.idx].Inc()
+			rs.r.cfg.Logf("fleet: forwarder %s: handshake failed: %v (retry in %v)",
+				rs.shard.Name, err, bo.Current())
+			if !bo.Sleep(rs.r.dialCtx) {
+				return
+			}
+			bo.Fail()
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		// The forwarder only writes, so a dead shard would otherwise go
+		// unnoticed until a send fails. A dedicated reader turns the
+		// shard's NOTIFICATION (or a torn connection) into a prompt
+		// session close, which unblocks the pump for redial.
+		go func() {
+			for {
+				if _, err := sess.RecvUpdate(); err != nil {
+					sess.Close()
+					return
+				}
+			}
+		}()
+		established := time.Now()
+		rs.r.met.shardUp[rs.idx].Set(1)
+		rs.r.cfg.Logf("fleet: forwarder %s up (AS%d, %d pending for replay)",
+			rs.shard.Name, uint32(sess.PeerAS()), len(pending))
+		sent := rs.pump(sess, &pending)
+		sess.Close()
+		rs.r.met.shardUp[rs.idx].Set(0)
+		if rs.r.dialCtx.Err() != nil {
+			return
+		}
+		bo.SessionEnded(established, sent)
+		rs.r.cfg.Logf("fleet: forwarder %s down, %d pending (retry in %v)",
+			rs.shard.Name, len(pending), bo.Current())
+		if !bo.Sleep(rs.r.dialCtx) {
+			return
+		}
+	}
+}
+
+// gather collects the next batch: carried-over pending items first, then
+// whatever is queued, up to forwardBatch. Returns alive=false when the
+// session died underneath us.
+func (rs *remoteSink) gather(sess *bgpd.Session, pending []fwdItem) (batch []fwdItem, alive bool) {
+	batch = pending
+	if len(batch) == 0 {
+		select {
+		case it := <-rs.ch:
+			batch = append(batch, it)
+		case <-rs.r.dialCtx.Done():
+			// Shutdown: fall through and drain whatever is immediately
+			// available for a final flush.
+		case <-sess.Done():
+			return batch, false
+		}
+	}
+	for len(batch) < forwardBatch {
+		select {
+		case it := <-rs.ch:
+			batch = append(batch, it)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// pump encodes queued updates into raw message batches and writes them
+// until the session fails; undelivered items stay in *pending for the
+// next session. Reports whether anything was delivered (feeds the
+// backoff healthy-session heuristic).
+func (rs *remoteSink) pump(sess *bgpd.Session, pending *[]fwdItem) bool {
+	sent := false
+	var raw []byte
+	for {
+		batch, alive := rs.gather(sess, *pending)
+		*pending = nil
+		if !alive {
+			*pending = batch
+			return sent
+		}
+		if len(batch) == 0 {
+			if rs.r.dialCtx.Err() != nil {
+				return sent
+			}
+			continue
+		}
+		raw = raw[:0]
+		kept := batch[:0]
+		for i := range batch {
+			mark := len(raw)
+			var err error
+			if raw, err = batch[i].append(raw, sess.AS4()); err != nil {
+				raw = raw[:mark]
+				rs.queued.Add(-1)
+				rs.r.met.forwardDropped[rs.idx].Inc()
+				continue
+			}
+			kept = append(kept, batch[i])
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		if err := sess.SendRaw(raw, len(kept)); err != nil {
+			*pending = append([]fwdItem(nil), kept...)
+			return sent
+		}
+		rs.queued.Add(-int64(len(kept)))
+		sent = true
+		if rs.r.dialCtx.Err() != nil && len(rs.ch) == 0 && rs.queued.Load() <= 0 {
+			return sent
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"quicksand/internal/monitord"
+	"quicksand/internal/obs"
+)
+
+// The fleet router serves the same read-only HTTP API as a single
+// monitord — identical wire shapes on /alerts and /rib, so single-daemon
+// clients (pollers, the loadgen harness, curl muscle memory) work
+// against a fleet unchanged — plus the fleet-only /anomalies endpoint
+// and a /healthz that aggregates per-shard rows.
+
+// alertJSON / alertsResponse mirror monitord's /alerts wire shape.
+type alertJSON struct {
+	Seq        uint64    `json:"seq"`
+	Time       time.Time `json:"time"`
+	Session    int       `json:"session"`
+	Prefix     string    `json:"prefix"`
+	Kind       string    `json:"kind"`
+	ObservedAS uint32    `json:"observed_as"`
+}
+
+type alertsResponse struct {
+	Alerts  []alertJSON `json:"alerts"`
+	Next    uint64      `json:"next"`
+	Dropped uint64      `json:"dropped"`
+}
+
+// anomalyJSON is the wire shape of one escalated anomaly.
+type anomalyJSON struct {
+	Time    time.Time `json:"time"`
+	Prefix  string    `json:"prefix"`
+	Kind    string    `json:"kind"`
+	Score   float64   `json:"score"`
+	Alerts  int       `json:"alerts"`
+	Origins []uint32  `json:"origins,omitempty"`
+}
+
+type anomaliesResponse struct {
+	Anomalies []anomalyJSON     `json:"anomalies"`
+	Observed  uint64            `json:"alerts_observed"`
+	Escalated map[string]uint64 `json:"escalated"`
+}
+
+// shardHealth is one shard's row in the fleet /healthz payload.
+type shardHealth struct {
+	Shard      int    `json:"shard"`
+	Name       string `json:"name"`
+	Up         bool   `json:"up"`
+	Watched    int    `json:"watched_prefixes"`
+	Forwarded  uint64 `json:"forwarded"`
+	Dropped    uint64 `json:"forward_dropped"`
+	QueueDepth int64  `json:"queue_depth"`
+	Cursor     uint64 `json:"alert_cursor"`
+}
+
+type fleetHealthResponse struct {
+	Status         string        `json:"status"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	Shards         int           `json:"shards"`
+	SessionsActive int64         `json:"sessions_active"`
+	AlertsMerged   uint64        `json:"alerts_merged"`
+	Watched        int           `json:"watched_prefixes"`
+	ShardRows      []shardHealth `json:"shard_health"`
+}
+
+func (r *Router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alerts", getOnly(r.handleAlerts))
+	mux.HandleFunc("/anomalies", getOnly(r.handleAnomalies))
+	mux.HandleFunc("/rib", getOnly(r.handleRIB))
+	mux.HandleFunc("/healthz", getOnly(r.handleHealthz))
+	mux.HandleFunc("/metrics", getOnly(r.handleMetrics))
+	return mux
+}
+
+// getOnly and writeJSON mirror monitord's: read-only API, and encode
+// failures become 500s instead of truncated 200s.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+// handleAlerts serves GET /alerts?since=N&max=M over the merged stream,
+// with the same parameter validation and server-side max ceiling as a
+// single daemon.
+func (r *Router) handleAlerts(w http.ResponseWriter, req *http.Request) {
+	var cursor uint64
+	if s := req.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cursor = v
+	}
+	max := 1000
+	if s := req.URL.Query().Get("max"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		max = min(v, monitord.MaxAlertsPerRequest)
+	}
+	alerts, next, dropped := r.Alerts(cursor, max)
+	resp := alertsResponse{Alerts: make([]alertJSON, 0, len(alerts)), Next: next, Dropped: dropped}
+	for _, a := range alerts {
+		resp.Alerts = append(resp.Alerts, alertJSON{
+			Seq: a.Seq, Time: a.Time, Session: a.Session,
+			Prefix: a.Prefix.String(), Kind: a.Kind.String(),
+			ObservedAS: uint32(a.Observed),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleAnomalies serves GET /anomalies: the recent escalations plus
+// detector lifetime totals.
+func (r *Router) handleAnomalies(w http.ResponseWriter, req *http.Request) {
+	recent, observed, escalated := r.Anomalies()
+	resp := anomaliesResponse{
+		Anomalies: make([]anomalyJSON, 0, len(recent)),
+		Observed:  observed,
+		Escalated: make(map[string]uint64, len(escalated)),
+	}
+	for _, an := range recent {
+		aj := anomalyJSON{
+			Time: an.Time, Prefix: an.Prefix.String(), Kind: an.Kind.String(),
+			Score: an.Score, Alerts: an.Alerts,
+		}
+		for _, o := range an.Origins {
+			aj.Origins = append(aj.Origins, uint32(o))
+		}
+		resp.Anomalies = append(resp.Anomalies, aj)
+	}
+	for k, v := range escalated {
+		resp.Escalated[k.String()] = v
+	}
+	writeJSON(w, resp)
+}
+
+// handleRIB serves GET /rib?prefix=… or ?addr=… by routing the query to
+// the shard owning the covering watched prefix — the shard whose RIB
+// holds every route for it. Queries outside the watchlist are 404: no
+// shard ever saw those updates, by design.
+func (r *Router) handleRIB(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	var shard int
+	var ok bool
+	switch {
+	case q.Get("prefix") != "":
+		p, err := netip.ParsePrefix(q.Get("prefix"))
+		if err != nil {
+			http.Error(w, "bad prefix: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		shard, ok = r.table.route(p)
+	case q.Get("addr") != "":
+		a, err := netip.ParseAddr(q.Get("addr"))
+		if err != nil {
+			http.Error(w, "bad addr: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if a.Is4() {
+			shard, ok = r.table.routeAddr(a)
+		}
+	default:
+		http.Error(w, "need ?prefix= or ?addr=", http.StatusBadRequest)
+		return
+	}
+	if !ok {
+		http.Error(w, "not watched", http.StatusNotFound)
+		return
+	}
+	if r.remotes[shard] != nil {
+		r.proxyRIB(w, r.remotes[shard].shard.HTTPAddr, req.URL.RawQuery)
+		return
+	}
+	r.localRIB(w, shard, q.Get("prefix"), q.Get("addr"))
+}
+
+// localRIB answers a routed /rib query from an in-process shard's live
+// table, in monitord's wire shape.
+func (r *Router) localRIB(w http.ResponseWriter, shard int, prefixQ, addrQ string) {
+	rib := r.shards[shard].RIB()
+	var entry *monitord.RIBEntry
+	var ok bool
+	if prefixQ != "" {
+		p, _ := netip.ParsePrefix(prefixQ) // validated by caller
+		entry, ok = rib.Lookup(p)
+	} else {
+		a, _ := netip.ParseAddr(addrQ)
+		entry, ok = rib.LookupAddr(a)
+	}
+	if !ok {
+		http.Error(w, "no route", http.StatusNotFound)
+		return
+	}
+	type routeJSON struct {
+		Session int       `json:"session"`
+		Path    []uint32  `json:"path"`
+		Updated time.Time `json:"updated"`
+	}
+	toJSON := func(rt monitord.Route) routeJSON {
+		path := make([]uint32, len(rt.Path))
+		for i, asn := range rt.Path {
+			path[i] = uint32(asn)
+		}
+		return routeJSON{Session: rt.Session, Path: path, Updated: rt.Updated}
+	}
+	resp := struct {
+		Prefix string      `json:"prefix"`
+		Routes []routeJSON `json:"routes"`
+		Best   *routeJSON  `json:"best,omitempty"`
+	}{Prefix: entry.Prefix.String()}
+	for _, rt := range entry.Routes {
+		resp.Routes = append(resp.Routes, toJSON(rt))
+	}
+	if best, ok := entry.Best(); ok {
+		bj := toJSON(best)
+		resp.Best = &bj
+	}
+	writeJSON(w, resp)
+}
+
+// proxyRIB forwards a routed /rib query to a remote shard's own API and
+// relays the response verbatim (status, content type and body).
+func (r *Router) proxyRIB(w http.ResponseWriter, httpAddr, rawQuery string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + httpAddr + "/rib?" + rawQuery)
+	if err != nil {
+		http.Error(w, "shard unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleHealthz serves GET /healthz with fleet-level status plus one
+// row per shard.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	cursors := r.mrg.shardCursors()
+	resp := fleetHealthResponse{
+		Status:         "ok",
+		UptimeSeconds:  time.Since(r.met.start).Seconds(),
+		Shards:         len(r.sinks),
+		SessionsActive: int64(r.met.sessionsActive.Value()),
+		AlertsMerged:   r.met.alertsMerged.Value(),
+		Watched:        len(r.cfg.Watched),
+	}
+	parts := Partition(r.cfg.Watched, len(r.sinks))
+	for i := range r.sinks {
+		row := shardHealth{
+			Shard:     i,
+			Name:      "shard" + strconv.Itoa(i),
+			Up:        r.met.shardUp[i].Value() > 0,
+			Watched:   len(parts[i]),
+			Forwarded: r.met.forwarded[i].Value(),
+			Dropped:   r.met.forwardDropped[i].Value(),
+			Cursor:    cursors[i],
+		}
+		if rs := r.remotes[i]; rs != nil {
+			row.Name = rs.shard.Name
+			row.QueueDepth = rs.queued.Load()
+		}
+		if !row.Up {
+			resp.Status = "degraded"
+		}
+		resp.ShardRows = append(resp.ShardRows, row)
+	}
+	writeJSON(w, resp)
+}
+
+// handleMetrics serves GET /metrics: the router's fleet_* families
+// merged with every shard's monitord_* families — in-process registries
+// snapshotted directly, remote daemons scraped live — through the obs
+// scrape/merge layer, so one exposition describes the whole fleet.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	snaps := make([]*obs.Snapshot, 0, len(r.sinks)+1)
+	own, err := obs.SnapshotRegistry(r.met.reg)
+	if err != nil {
+		http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	snaps = append(snaps, own)
+	for _, reg := range r.regs {
+		s, err := obs.SnapshotRegistry(reg)
+		if err != nil {
+			http.Error(w, "shard snapshot: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		snaps = append(snaps, s)
+	}
+	for _, rs := range r.remotes {
+		if rs == nil {
+			continue
+		}
+		s, err := obs.ScrapeTarget("http://" + rs.shard.HTTPAddr + "/metrics")
+		if err != nil {
+			continue // dead shard: serve what the fleet can see
+		}
+		snaps = append(snaps, s)
+	}
+	merged, err := obs.MergeSnapshots(snaps...)
+	if err != nil {
+		http.Error(w, "merge: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	merged.WritePrometheus(w)
+}

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/iptrie"
+)
+
+// OwnerOf returns the shard index owning watched prefix p under the
+// fleet's hash partition: FNV-1a over the masked address bytes and the
+// prefix length, mod n. The partition is a pure function of (prefix, n)
+// so every component — router, tests, an operator reasoning about a
+// shard's load — computes the same owner.
+func OwnerOf(p netip.Prefix, n int) int {
+	p = p.Masked()
+	a := p.Addr().As4()
+	h := fnv.New32a()
+	h.Write(a[:])
+	h.Write([]byte{byte(p.Bits())})
+	return int(h.Sum32() % uint32(n))
+}
+
+// Partition splits a watchlist into n per-shard watchlists by OwnerOf.
+// Empty shards get an empty (non-nil) map.
+func Partition(watched map[netip.Prefix]bgp.ASN, n int) []map[netip.Prefix]bgp.ASN {
+	out := make([]map[netip.Prefix]bgp.ASN, n)
+	for i := range out {
+		out[i] = make(map[netip.Prefix]bgp.ASN)
+	}
+	for p, origin := range watched {
+		out[OwnerOf(p, n)][p] = origin
+	}
+	return out
+}
+
+// watchTable answers the router's per-update question: which shard, if
+// any, must see an announcement of prefix p? The routing rule mirrors
+// defense.Monitor.Observe exactly, because a shard only ever alerts on
+// updates the single-daemon monitor would have alerted on:
+//
+//   - p is itself watched → the shard owning p (origin-change and
+//     new-upstream checks live there);
+//   - otherwise, if the longest watched prefix covering p's address is
+//     strictly less specific than p → the shard owning that cover (the
+//     more-specific hijack check lives there). This is the correctness
+//     trap naive hashing gets wrong: hashing the announced prefix sends
+//     a /24 hijack of a watched /16 to an arbitrary shard that has never
+//     heard of the /16.
+//   - otherwise no shard needs it (covering/less-specific announcements
+//     and unrelated prefixes alert nowhere in the single daemon either).
+//
+// A [256]bool first-octet bitmap rejects the overwhelmingly common case
+// — background traffic nowhere near the watchlist — without touching
+// the trie: if any watched prefix covers an address, it also covers (or
+// is covered by the first 8 bits of) that address's first octet, so an
+// unmarked octet proves no match. The full trie runs only for updates
+// that share a first octet with the watchlist.
+type watchTable struct {
+	trie   iptrie.Trie[int] // watched prefix -> owning shard
+	coarse [256]bool
+	n      int
+}
+
+func newWatchTable(watched map[netip.Prefix]bgp.ASN, n int) (*watchTable, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: shard count %d, need >= 1", n)
+	}
+	t := &watchTable{n: n}
+	for p := range watched {
+		if !p.IsValid() || !p.Addr().Is4() {
+			return nil, fmt.Errorf("fleet: watched prefix %v is not IPv4", p)
+		}
+		p = p.Masked()
+		if _, err := t.trie.Insert(p, OwnerOf(p, n)); err != nil {
+			return nil, fmt.Errorf("fleet: watched prefix %v: %w", p, err)
+		}
+		first := p.Addr().As4()[0]
+		if p.Bits() >= 8 {
+			t.coarse[first] = true
+		} else {
+			// A short prefix covers a run of first octets.
+			span := 1 << (8 - p.Bits())
+			for i := 0; i < span; i++ {
+				t.coarse[int(first)+i] = true
+			}
+		}
+	}
+	return t, nil
+}
+
+// route returns the shard that must see an update for p, or ok=false
+// when no shard needs it. p must be a valid IPv4 prefix.
+func (t *watchTable) route(p netip.Prefix) (shard int, ok bool) {
+	if !t.coarse[p.Addr().As4()[0]] {
+		return 0, false
+	}
+	if shard, ok := t.trie.Get(p); ok {
+		return shard, true
+	}
+	if cover, shard, ok := t.trie.LongestMatch(p.Addr()); ok && cover.Bits() < p.Bits() {
+		return shard, true
+	}
+	return 0, false
+}
+
+// routeAddr returns the shard owning the longest watched prefix covering
+// addr — the shard whose RIB answers /rib?addr= queries. a must be IPv4.
+func (t *watchTable) routeAddr(a netip.Addr) (shard int, ok bool) {
+	if !t.coarse[a.As4()[0]] {
+		return 0, false
+	}
+	_, shard, ok = t.trie.LongestMatch(a)
+	return shard, ok
+}

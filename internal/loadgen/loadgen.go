@@ -72,6 +72,12 @@ type Config struct {
 	// WatchedPrefix is a prefix every target monitors; tracer hijacks
 	// announce it with bogus origins.
 	WatchedPrefix netip.Prefix
+	// TracerPrefixes, when set, spreads the tracer hijacks round-robin
+	// across several watched prefixes instead of just WatchedPrefix —
+	// against a fleet router this exercises every shard's dispatch and
+	// alert path, not only the shard owning one prefix. Every entry must
+	// be watched by the target. Defaults to [WatchedPrefix].
+	TracerPrefixes []netip.Prefix
 	// TracerBase is the first bogus origin ASN; tracer i uses
 	// TracerBase+i, so the range must be disjoint from the background
 	// workload's AS numbers. Default 64900.
@@ -103,8 +109,16 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Duration <= 0 {
 		return out, errors.New("loadgen: Duration must be positive")
 	}
-	if !out.WatchedPrefix.IsValid() {
-		return out, errors.New("loadgen: WatchedPrefix must be set")
+	if len(out.TracerPrefixes) == 0 {
+		if !out.WatchedPrefix.IsValid() {
+			return out, errors.New("loadgen: WatchedPrefix must be set")
+		}
+		out.TracerPrefixes = []netip.Prefix{out.WatchedPrefix}
+	}
+	for i, p := range out.TracerPrefixes {
+		if !p.IsValid() {
+			return out, fmt.Errorf("loadgen: tracer prefix %d is invalid", i)
+		}
 	}
 	if out.Sessions <= 0 {
 		out.Sessions = 1
@@ -299,20 +313,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // targetRun is the live state of one target: its established sessions
 // and tracer bookkeeping.
 type targetRun struct {
-	cfg     *Config
-	tgt     Target
-	index   int
-	load    []*bgpd.Session
-	tracer  *bgpd.Session
-	sent    atomic.Uint64
-	tracers *tracerLog
-	cursor  uint64
+	cfg       *Config
+	tgt       Target
+	index     int
+	load      []*bgpd.Session
+	tracer    *bgpd.Session
+	sent      atomic.Uint64
+	tracers   *tracerLog
+	tracerSet map[netip.Prefix]bool
+	cursor    uint64
 }
 
 // startTarget dials and establishes the target's load and tracer
 // sessions up front, so a down target fails the run before any load.
 func startTarget(cfg *Config, i int) (*targetRun, error) {
-	tr := &targetRun{cfg: cfg, tgt: cfg.Targets[i], index: i, tracers: newTracerLog()}
+	tr := &targetRun{
+		cfg: cfg, tgt: cfg.Targets[i], index: i, tracers: newTracerLog(),
+		tracerSet: make(map[netip.Prefix]bool, len(cfg.TracerPrefixes)),
+	}
+	for _, p := range cfg.TracerPrefixes {
+		tr.tracerSet[p] = true
+	}
 	base := cfg.LocalAS + bgp.ASN(i*(cfg.Sessions+1))
 	for k := 0; k <= cfg.Sessions; k++ {
 		sess, err := dialSession(tr.tgt.BGPAddr, base+bgp.ASN(k))
@@ -425,7 +446,7 @@ func (tr *targetRun) tracerLoop(ctx context.Context) error {
 		}
 		asn := tr.cfg.TracerBase + bgp.ASN(i)
 		u := &bgp.Update{
-			NLRI: []netip.Prefix{tr.cfg.WatchedPrefix},
+			NLRI: []netip.Prefix{tr.cfg.TracerPrefixes[i%len(tr.cfg.TracerPrefixes)]},
 			Attrs: bgp.PathAttributes{
 				HasOrigin: true, Origin: bgp.OriginIGP,
 				HasASPath: true, ASPath: bgp.Sequence(tr.tracer.PeerAS(), asn),
@@ -459,7 +480,7 @@ func (tr *targetRun) pollOnce() {
 	alerts, next, _ := tr.tgt.Alerts.Alerts(tr.cursor, 0)
 	tr.cursor = next
 	for _, a := range alerts {
-		if a.Prefix == tr.cfg.WatchedPrefix {
+		if tr.tracerSet[a.Prefix] {
 			tr.tracers.observe(a.Observed)
 		}
 	}

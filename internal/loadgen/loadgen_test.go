@@ -171,6 +171,57 @@ func TestHTTPAlertsPollFailures(t *testing.T) {
 	})
 }
 
+// TestTracerPrefixesRoundRobin spreads tracers across several watched
+// prefixes: every injection must still be detected (a tracer sent to a
+// prefix the poller ignored would be counted lost), and the alert
+// stream must show hijacks on more than one prefix.
+func TestTracerPrefixesRoundRobin(t *testing.T) {
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.97.0.0/16"),
+		netip.MustParsePrefix("10.98.0.0/16"),
+		netip.MustParsePrefix("10.99.0.0/16"),
+	}
+	watchedMap := make(map[netip.Prefix]bgp.ASN, len(prefixes))
+	for i, p := range prefixes {
+		watchedMap[p] = bgp.ASN(64496 + i)
+	}
+	d, err := monitord.New(monitord.Config{
+		Watched:   watchedMap,
+		Speaker:   monitordSpeaker(),
+		ListenBGP: "127.0.0.1:0",
+		Shards:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	cfg := baseConfig(Target{BGPAddr: d.BGPAddr(), Alerts: d})
+	cfg.Sessions = 1
+	cfg.Rate = 2000
+	cfg.TracerInterval = 10 * time.Millisecond
+	cfg.WatchedPrefix = netip.Prefix{} // TracerPrefixes replaces it
+	cfg.TracerPrefixes = prefixes
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracersInjected < len(prefixes) {
+		t.Fatalf("only %d tracers injected, want >= %d for full rotation", res.TracersInjected, len(prefixes))
+	}
+	if res.TracersLost != 0 {
+		t.Errorf("lost %d of %d tracers across rotated prefixes", res.TracersLost, res.TracersInjected)
+	}
+	alerts, _, _ := d.Alerts(0, 0)
+	seen := map[netip.Prefix]bool{}
+	for _, a := range alerts {
+		seen[a.Prefix] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("alerts cover %d prefixes, want >= 2 from round-robin", len(seen))
+	}
+}
+
 func TestParseAlertKindRoundTrip(t *testing.T) {
 	for _, s := range []string{"origin-change", "more-specific", "new-upstream"} {
 		if got := parseAlertKind(s).String(); got != s {

@@ -1,13 +1,10 @@
 package monitord
 
 import (
-	"hash/fnv"
-	"math/rand"
 	"net"
 	"time"
 
 	"quicksand/internal/bgpd"
-	"quicksand/internal/par"
 )
 
 // dialLoop maintains one outbound collector session: dial, establish,
@@ -15,16 +12,14 @@ import (
 // backoff — the daemon's "peer with a route collector" mode. It exits
 // when the daemon shuts down, leaking nothing: the dialer honors the
 // daemon context, the handshake is unblocked by the raw-conn registry,
-// and an established session is closed like any inbound one.
+// and an established session is closed like any inbound one. The
+// schedule itself (doubling, healthy-reset, deterministic per-target
+// jitter) lives in bgpd.Backoff, shared with the fleet router's
+// remote-shard forwarders.
 func (d *Daemon) dialLoop(addr string) {
 	defer d.sessWG.Done()
-	// Per-target deterministic jitter: derived from the config seed and
-	// the address so two dialers never sync their retry storms.
-	h := fnv.New64a()
-	h.Write([]byte(addr))
-	rng := rand.New(rand.NewSource(par.TrialSeed(d.cfg.Seed, int(h.Sum64()%(1<<31)))))
-
-	backoff := d.cfg.DialBackoffBase
+	bo := bgpd.NewBackoff(d.cfg.DialBackoffBase, d.cfg.DialBackoffMax,
+		d.cfg.DialHealthyAfter, d.cfg.Seed, addr)
 	dialer := &net.Dialer{Timeout: d.cfg.EstablishTimeout}
 	for {
 		if d.dialCtx.Err() != nil {
@@ -33,11 +28,11 @@ func (d *Daemon) dialLoop(addr string) {
 		conn, err := dialer.DialContext(d.dialCtx, "tcp", addr)
 		if err != nil {
 			d.met.dialRetries.Add(1)
-			d.cfg.Logf("monitord: dial %s: %v (retry in ~%v)", addr, err, backoff)
-			if !d.sleepJittered(rng, backoff) {
+			d.cfg.Logf("monitord: dial %s: %v (retry in ~%v)", addr, err, bo.Current())
+			if !bo.Sleep(d.dialCtx) {
 				return
 			}
-			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
+			bo.Fail()
 			continue
 		}
 		if !d.trackConn(conn) {
@@ -50,11 +45,11 @@ func (d *Daemon) dialLoop(addr string) {
 		if err != nil {
 			conn.Close()
 			d.met.dialRetries.Add(1)
-			d.cfg.Logf("monitord: establish with %s: %v (retry in ~%v)", addr, err, backoff)
-			if !d.sleepJittered(rng, backoff) {
+			d.cfg.Logf("monitord: establish with %s: %v (retry in ~%v)", addr, err, bo.Current())
+			if !bo.Sleep(d.dialCtx) {
 				return
 			}
-			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
+			bo.Fail()
 			continue
 		}
 		conn.SetDeadline(time.Time{})
@@ -62,41 +57,12 @@ func (d *Daemon) dialLoop(addr string) {
 		d.cfg.Logf("monitord: collector session %d up with AS%d (%s)", si.id, uint32(si.peerAS), addr)
 		established := time.Now()
 		d.readLoop(sess, si)
-		// Session dropped. Only a session that proved healthy — survived
-		// DialHealthyAfter or delivered at least one update — resets the
-		// backoff; a peer that establishes and immediately hangs up keeps
-		// the exponential schedule, so a flapping collector cannot force
-		// a tight redial loop. Either way the jittered backoff is slept
-		// before the redial.
-		if time.Since(established) >= d.cfg.DialHealthyAfter || si.updates.Load() > 0 {
-			backoff = d.cfg.DialBackoffBase
-		} else {
-			backoff = minDuration(backoff*2, d.cfg.DialBackoffMax)
-		}
-		d.cfg.Logf("monitord: collector session %d with %s down (redial in ~%v)", si.id, addr, backoff)
-		if !d.sleepJittered(rng, backoff) {
+		// Session dropped: reset or double per the healthy-session rule
+		// (see bgpd.Backoff.SessionEnded), then sleep before the redial.
+		bo.SessionEnded(established, si.updates.Load() > 0)
+		d.cfg.Logf("monitord: collector session %d with %s down (redial in ~%v)", si.id, addr, bo.Current())
+		if !bo.Sleep(d.dialCtx) {
 			return
 		}
 	}
-}
-
-// sleepJittered sleeps for backoff scaled by a uniform [0.5, 1.5) jitter
-// factor, returning false when the daemon shut down first.
-func (d *Daemon) sleepJittered(rng *rand.Rand, backoff time.Duration) bool {
-	jittered := time.Duration((0.5 + rng.Float64()) * float64(backoff))
-	t := time.NewTimer(jittered)
-	defer t.Stop()
-	select {
-	case <-d.dialCtx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
-}
-
-func minDuration(a, b time.Duration) time.Duration {
-	if a < b {
-		return a
-	}
-	return b
 }

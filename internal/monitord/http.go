@@ -53,20 +53,45 @@ type healthResponse struct {
 	WatchedPrefix  int     `json:"watched_prefixes"`
 }
 
+// MaxAlertsPerRequest is the server-side ceiling on the /alerts ?max=
+// parameter: larger requests are clamped, not refused, so a greedy (or
+// hostile) client cannot force an O(max) allocation per request. Slow
+// consumers page with the returned cursor instead.
+const MaxAlertsPerRequest = 10000
+
 func (d *Daemon) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/alerts", d.handleAlerts)
-	mux.HandleFunc("/rib", d.handleRIB)
-	mux.HandleFunc("/healthz", d.handleHealthz)
-	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/alerts", getOnly(d.handleAlerts))
+	mux.HandleFunc("/rib", getOnly(d.handleRIB))
+	mux.HandleFunc("/healthz", getOnly(d.handleHealthz))
+	mux.HandleFunc("/metrics", getOnly(d.handleMetrics))
 	return mux
 }
 
+// getOnly rejects every method except GET (and HEAD, which net/http
+// serves from the GET handler) with 405 — the API is read-only.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeJSON marshals v before touching the ResponseWriter so an encode
+// failure can still turn into a 500 instead of a silently truncated 200
+// (streaming json.Encoder writes the status line on its first byte).
 func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(buf, '\n'))
 }
 
 // handleAlerts serves GET /alerts?since=N&max=M.
@@ -87,7 +112,7 @@ func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad max", http.StatusBadRequest)
 			return
 		}
-		max = v
+		max = min(v, MaxAlertsPerRequest)
 	}
 	alerts, next, dropped := d.rng.since(cursor, max)
 	resp := alertsResponse{Alerts: make([]alertJSON, 0, len(alerts)), Next: next, Dropped: dropped}

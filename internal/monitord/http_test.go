@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"strings"
 	"testing"
@@ -74,6 +76,62 @@ func TestHTTPAlerts(t *testing.T) {
 		if code, _ := httpGet(t, base+bad); code != http.StatusBadRequest {
 			t.Errorf("GET %s: status %d, want 400", bad, code)
 		}
+	}
+
+	// An ahead-of-head cursor (stale client after a restart) resyncs:
+	// empty page, next == live head, no drops — the Daemon.Alerts
+	// contract over HTTP.
+	getJSON(t, base+"/alerts?since=999999", &resp)
+	if len(resp.Alerts) != 0 || resp.Next != 1 || resp.Dropped != 0 {
+		t.Errorf("/alerts?since=999999 = %+v, want empty resync page at head 1", resp)
+	}
+}
+
+// TestHTTPAlertsMaxClamp pins that a hostile ?max= cannot force an
+// O(max) allocation: the server clamps to MaxAlertsPerRequest and still
+// answers 200 with whatever alerts exist.
+func TestHTTPAlertsMaxClamp(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+	var resp alertsResponse
+	getJSON(t, base+fmt.Sprintf("/alerts?max=%d", 1<<40), &resp)
+	if len(resp.Alerts) != 1 || resp.Next != 1 {
+		t.Errorf("/alerts with huge max = %+v, want the one real alert", resp)
+	}
+}
+
+// TestHTTPMethodNotAllowed pins that every handler rejects non-GET: the
+// API is read-only and must say so rather than treating a POST like a
+// GET.
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	_, base := newHTTPDaemon(t)
+	for _, path := range []string{"/alerts", "/rib?prefix=10.0.0.0/16", "/healthz", "/metrics"} {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("POST %s: Allow = %q, want GET", path, allow)
+		}
+	}
+}
+
+// TestWriteJSONEncodeFailure pins that an unencodable value yields a
+// 500, not a silent empty 200 (the old streaming encoder had already
+// written the status line before discovering the error).
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, math.NaN()) // NaN is not representable in JSON
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("writeJSON(NaN) status = %d, want 500", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	writeJSON(rec, map[string]int{"ok": 1})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok": 1`) {
+		t.Errorf("writeJSON(valid) = %d %q", rec.Code, rec.Body.String())
 	}
 }
 

@@ -330,7 +330,12 @@ func (d *Daemon) RIB() interface {
 	return d.rib
 }
 
-// Alerts returns alerts with sequence >= cursor (see ring.since).
+// Alerts returns up to max alerts with sequence >= cursor, the cursor
+// to pass on the next call, and how many alerts in the requested range
+// were evicted unseen; max <= 0 means no limit. A cursor ahead of the
+// live sequence (stale client after a daemon restart) is clamped to the
+// current head: empty result, next == head, dropped == 0 — callers
+// resynchronize by adopting the returned cursor. See ring.since.
 func (d *Daemon) Alerts(cursor uint64, max int) (alerts []SeqAlert, next uint64, dropped uint64) {
 	return d.rng.since(cursor, max)
 }

@@ -117,3 +117,57 @@ func TestShardOfStableAndInRange(t *testing.T) {
 	// distinct prefixes), but must at least be deterministic — and the
 	// /8 vs /16 pair above exercises the Bits() mixing.
 }
+
+// TestRIBConcurrentLookupApply pins that Lookup/LookupAddr hand back
+// snapshots, not views into live RIB state: readers mutate the returned
+// entries as hard as they can while writers churn the same prefixes, and
+// the race detector plus a final content check must both stay clean.
+// This is the aliasing audit for handleRIB serving entry.Routes — if
+// snapshotEntry ever stops deep-copying paths, -race fails here.
+func TestRIBConcurrentLookupApply(t *testing.T) {
+	rib := newLiveRIB(4)
+	p := netip.MustParsePrefix("10.0.0.0/16")
+	t0 := time.Unix(1000, 0)
+	rib.apply(t0, 0, p, asns(100, 200, 300))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			// Fresh path slice per apply, like flattenPath in the daemon.
+			rib.apply(t0.Add(time.Duration(i)), 0, p, asns(100, 200, uint32(300+i%7)))
+			if i%3 == 0 {
+				rib.apply(t0, 1, p, nil) // withdraw a route that may not exist
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if e, ok := rib.Lookup(p); ok {
+			for j := range e.Routes {
+				// Scribble over the snapshot: must never reach the RIB.
+				for k := range e.Routes[j].Path {
+					e.Routes[j].Path[k] = 666
+				}
+				e.Routes[j].Session = -1
+			}
+			e.Routes = nil
+		}
+		if e, ok := rib.LookupAddr(p.Addr()); ok && len(e.Routes) > 0 {
+			e.Routes[0].Path = append(e.Routes[0].Path, 666)
+		}
+	}
+	<-done
+
+	e, ok := rib.Lookup(p)
+	if !ok || len(e.Routes) == 0 {
+		t.Fatalf("prefix lost after churn: %+v, %v", e, ok)
+	}
+	for _, rt := range e.Routes {
+		if len(rt.Path) != 3 || rt.Path[0] != 100 || rt.Path[1] != 200 {
+			t.Fatalf("reader scribbles reached the RIB: %+v", rt)
+		}
+		if rt.Session < 0 {
+			t.Fatalf("session mutated through snapshot: %+v", rt)
+		}
+	}
+}

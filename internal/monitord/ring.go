@@ -51,6 +51,16 @@ func (r *ring) append(a defense.Alert) uint64 {
 // since returns up to max alerts with sequence >= cursor, the cursor to
 // pass next time, and how many alerts in the requested range were
 // evicted before they could be read. max <= 0 means no limit.
+//
+// A cursor *ahead* of the ring's next sequence — a stale client polling
+// a daemon that restarted (sequences restart at 0), or a fleet router
+// polling a shard that came back empty — is clamped to next: the call
+// returns no alerts, next as the new cursor, and dropped == 0. The
+// client silently resynchronizes at the live head instead of erroring
+// or, worse, waiting forever for sequences that will only be reached
+// again after ~cursor more alerts. This is a contract (the fleet
+// router's merged vector cursor depends on it), pinned by
+// TestRingCursorAheadResync.
 func (r *ring) since(cursor uint64, max int) (alerts []SeqAlert, next uint64, dropped uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -85,3 +85,47 @@ func TestRingSinceCursorSemantics(t *testing.T) {
 		t.Errorf("poll after append = %v, want exactly seq 5", alerts)
 	}
 }
+
+// TestRingCursorAheadResync pins the ahead-of-head cursor contract that
+// Daemon.Alerts documents: a stale client holding a cursor from before a
+// daemon restart (sequences restart at 0) clamps to the live head with
+// no alerts and no drops, then resumes normally from the returned
+// cursor. The fleet router's merged vector cursor relies on exactly this
+// to survive a shard restart without wedging or double-reading.
+func TestRingCursorAheadResync(t *testing.T) {
+	// A client reads up to seq 42 on the old incarnation...
+	old := newRing(8, nil)
+	for i := 0; i < 42; i++ {
+		old.append(mkAlert(i))
+	}
+	_, cursor, _ := old.since(0, 0)
+	if cursor != 42 {
+		t.Fatalf("old-incarnation cursor = %d, want 42", cursor)
+	}
+
+	// ...then the daemon restarts: a fresh, empty ring.
+	fresh := newRing(8, nil)
+	alerts, next, dropped := fresh.since(cursor, 0)
+	if len(alerts) != 0 || next != 0 || dropped != 0 {
+		t.Fatalf("ahead cursor on empty ring: %d alerts, next %d, dropped %d; want 0, 0, 0",
+			len(alerts), next, dropped)
+	}
+
+	// The new incarnation has produced a few alerts of its own: an ahead
+	// cursor must clamp to the head, not replay them.
+	for i := 0; i < 3; i++ {
+		fresh.append(mkAlert(i))
+	}
+	alerts, next, dropped = fresh.since(cursor, 0)
+	if len(alerts) != 0 || next != 3 || dropped != 0 {
+		t.Fatalf("ahead cursor on live ring: %d alerts, next %d, dropped %d; want 0, 3, 0",
+			len(alerts), next, dropped)
+	}
+
+	// Adopting the returned cursor resynchronizes the stream.
+	fresh.append(mkAlert(3))
+	alerts, next, dropped = fresh.since(next, 0)
+	if len(alerts) != 1 || alerts[0].Seq != 3 || next != 4 || dropped != 0 {
+		t.Fatalf("resumed poll = %v (next %d, dropped %d), want exactly seq 3", alerts, next, dropped)
+	}
+}

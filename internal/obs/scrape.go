@@ -8,6 +8,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -342,6 +343,18 @@ func ScrapeTarget(url string) (*Snapshot, error) {
 		return nil, fmt.Errorf("obs: scrape %s: status %s", url, resp.Status)
 	}
 	return ParseExposition(resp.Body)
+}
+
+// SnapshotRegistry captures an in-process registry as a Snapshot — the
+// zero-network equivalent of ScrapeTarget, so a process hosting several
+// registries (the fleet router and its in-process shards) can merge
+// them with MergeSnapshots exactly as it would merge remote scrapes.
+func SnapshotRegistry(reg *Registry) (*Snapshot, error) {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return ParseExposition(&buf)
 }
 
 // ScrapeAll scrapes every URL and merges the snapshots into one

@@ -1,0 +1,103 @@
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"quicksand/internal/bgp"
+	"quicksand/internal/bgpsim"
+	"quicksand/internal/defense"
+	"quicksand/internal/fleet"
+	"quicksand/internal/monitord"
+)
+
+// CheckFleetEquivalence differentially tests the sharded fleet router
+// against the batch monitor: feeding a stream's updates through a
+// router fronting n in-process monitord shards must yield exactly the
+// alert multiset of defense.RunMonitor with learnFraction 0 over the
+// same stream. This is the fleet's core correctness claim — that
+// hash-partitioning the watchlist and routing each update to the shard
+// owning the longest covering watched prefix loses no alert a single
+// global monitor would raise, and invents none.
+//
+// The comparison is sound for the same reasons as
+// CheckMonitordEquivalence, plus one fleet-specific argument: the
+// monitor's per-prefix mutable state is only ever touched by updates
+// whose longest covering watched prefix is that prefix, and the router
+// sends every such update to the one shard owning it, so shard-local
+// monitor state evolves identically to the global monitor's. Updates
+// matching no watched prefix are dropped at the router without reaching
+// any shard — and raise no alerts in the batch monitor either.
+func CheckFleetEquivalence(st *bgpsim.Stream, watched map[netip.Prefix]bgp.ASN, n int) error {
+	// Batch side: the reference alert stream.
+	bm, err := defense.NewMonitor(watched)
+	if err != nil {
+		return err
+	}
+	rep, err := defense.RunMonitor(bm, st, 0)
+	if err != nil {
+		return err
+	}
+
+	// Live side: same stream through the router and its shard fleet.
+	buffer := len(st.Updates) + len(rep.Alerts) + 16
+	r, err := fleet.New(fleet.Config{
+		Watched: watched,
+		Shards:  n,
+		ShardConfig: monitord.Config{
+			UpstreamAlarms: true, // matches RunMonitor's EnableUpstream at split 0
+			AlertBuffer:    buffer,
+		},
+		AlertBuffer:   buffer,
+		MergeInterval: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Shutdown(context.Background())
+	for si := range st.Sessions {
+		s := &st.Sessions[si]
+		if id := r.RegisterSource(s.Collector, s.PeerAS); id != si {
+			return fmt.Errorf("source %d registered as session %d", si, id)
+		}
+	}
+	for i := range st.Updates {
+		u := &st.Updates[i]
+		if err := r.Ingest(u.Session, u.Time, u.Prefix, u.Path); err != nil {
+			return fmt.Errorf("ingest update %d: %w", i, err)
+		}
+	}
+	if !r.WaitQuiesce(time.Minute) {
+		return fmt.Errorf("fleet did not quiesce")
+	}
+
+	// Merged alert multiset must equal the batch monitor's exactly —
+	// including session ids (the router mirrors every source into every
+	// shard under one lock) and semantic timestamps (in-process shards
+	// receive the ingest timestamp unmodified).
+	key := func(a defense.Alert) string {
+		return fmt.Sprintf("%d|%v|%v|%v|%d", a.Session, a.Prefix, a.Kind, a.Observed, a.Time.UnixNano())
+	}
+	counts := make(map[string]int, len(rep.Alerts))
+	for _, a := range rep.Alerts {
+		counts[key(a)]++
+	}
+	live, _, dropped := r.Alerts(0, 0)
+	if dropped != 0 {
+		return fmt.Errorf("merged ring evicted %d alerts despite sized buffer", dropped)
+	}
+	for _, a := range live {
+		counts[key(a.Alert)]--
+		if counts[key(a.Alert)] < 0 {
+			return fmt.Errorf("fleet raised alert absent from batch run: %+v", a.Alert)
+		}
+	}
+	for k, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("batch alert missing from fleet run (%d×): %s", c, k)
+		}
+	}
+	return nil
+}

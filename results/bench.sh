@@ -27,6 +27,14 @@
 #      >= 3x the 238707 updates/s pre-batching baseline with the stage
 #      histograms live, and the injection-to-alert p99 must stay a
 #      finite <= 1s)
+#  10. fleet router benchmark: `quicksand loadtest -fleet 4 -json` — the
+#      same load against one router sharding the watchlist across 4
+#      in-process monitord instances, recorded in
+#      results/BENCH_fleet.json (aggregate ingest must hold >= 2x the
+#      single saturated daemon of step 9, and the shards' dispatch-stage
+#      p99 must stay below the single daemon's saturated dispatch p99 —
+#      the router's watchlist fast-path shields them from unwatched
+#      background load)
 #
 # Run from anywhere; operates on the repository root. Pass extra
 # arguments (e.g. -count=2) through to the race run.
@@ -267,5 +275,53 @@ END {
     if (det + 0 < 1)   { print "FAIL: no tracer hijack detected under load" > "/dev/stderr"; exit 1 }
     if (p99 + 0 <= 0 || p99 + 0 > 1.0) { print "FAIL: injection-to-alert p99 " p99 "s outside (0, 1.0]" > "/dev/stderr"; exit 1 }
 }' results/BENCH_loadtest.json
+
+echo "== fleet router: 4 shards behind one router (-> results/BENCH_fleet.json) =="
+# The same harness pointed at a fleet router fronting 4 in-process
+# monitord shards: one BGP listener, hash-sharded watchlist dispatch,
+# merged /alerts, aggregated /metrics. One tracer prefix lands on each
+# shard; the background load (198.18.0.0/15, unwatched) dies at the
+# router's longest-prefix fast path instead of swamping a daemon
+# pipeline. Gated against the single-daemon record of the previous
+# step: aggregate ingest >= 2x, and the shards' dispatch-stage p99
+# strictly below the saturated single daemon's.
+base_ups=$(awk -F'[:,]' '/^  "updates_per_sec"/ { print $2 + 0 }' results/BENCH_loadtest.json)
+base_dp99=$(awk -F'[:,]' '/^    "dispatch"/ { print $2 + 0 }' results/BENCH_loadtest.json)
+
+flt_bin=$(mktemp)
+go build -o "$flt_bin" ./cmd/quicksand
+flt_out=$(mktemp)
+"$flt_bin" loadtest -fleet 4 -sessions 4 -duration 3s -min-detected 1 -json > "$flt_out"
+rm -f "$flt_bin"
+
+awk -v date="$(date +%Y-%m-%d)" -v bu="$base_ups" -v bd="$base_dp99" '
+NR == 1 && $0 == "{" {
+    print "{"
+    printf "  \"description\": \"Fleet router benchmark: the loadtest harness driving one fleet router that hash-shards the Tor-prefix watchlist across 4 in-process monitord instances — 4 concurrent loopback BGP sessions of unwatched background load plus one tracer session hijacking a watched prefix on every shard, alerts read from the merged /alerts stream and metrics from the aggregated /metrics endpoint. Gated against the single saturated daemon in BENCH_loadtest.json. Reproduce with: results/bench.sh or `quicksand loadtest -fleet 4 -sessions 4 -duration 3s -json`\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"single_daemon_updates_per_sec\": %s,\n", bu
+    printf "  \"single_daemon_dispatch_p99_seconds\": %s,\n", bd
+    printf "  \"required_ingest_speedup\": 2.0,\n"
+    next
+}
+{ print }
+' "$flt_out" > results/BENCH_fleet.json
+rm -f "$flt_out"
+cat results/BENCH_fleet.json
+
+awk -v bu="$base_ups" -v bd="$base_dp99" -F'[:,]' '
+/^  "updates_per_sec"/  { ups = $2 }
+/^    "dispatch"/       { dp = $2 }
+/^  "tracers_detected"/ { det = $2 }
+/^  "fleet_shards"/     { shards = $2 }
+END {
+    if (ups == "" || dp == "" || det == "" || shards == "") { print "missing fleet benchmark fields" > "/dev/stderr"; exit 1 }
+    if (shards + 0 != 4) { print "FAIL: fleet_shards " shards " != 4" > "/dev/stderr"; exit 1 }
+    if (det + 0 < 1)     { print "FAIL: no tracer hijack detected through the fleet" > "/dev/stderr"; exit 1 }
+    speedup = (ups + 0) / (bu + 0)
+    if (speedup < 2.0)   { print "FAIL: fleet ingest " ups " updates/s only " speedup "x the single-daemon " bu "/s (need 2x)" > "/dev/stderr"; exit 1 }
+    if (dp + 0 <= 0)     { print "FAIL: fleet dispatch p99 " dp " has no observations (tracers should flow through shards)" > "/dev/stderr"; exit 1 }
+    if (dp + 0 >= bd + 0) { print "FAIL: fleet dispatch p99 " dp "s not below the saturated single-daemon " bd "s" > "/dev/stderr"; exit 1 }
+}' results/BENCH_fleet.json
 
 echo "OK"

@@ -26,6 +26,10 @@
 #  9b. loadtest smoke: the fleet load harness against two in-process
 #      instances under -race — at least one tracer hijack detected and
 #      the aggregated exposition lint-clean
+#  9c. fleet router smoke under -race: the sharded watchlist router end
+#      to end (BGP + HTTP + merged alerts), the shard-death failover
+#      test, the fleet-vs-batch alert-multiset equivalence at widths 1
+#      and 4, and the -fleet arms of the serve and loadtest subcommands
 #  10. 73K topology smoke: generate the full-Internet-scale power-law
 #      graph, compute a destination shard, and delta-recompile one flap
 #      through `quicksand topo`
@@ -111,6 +115,17 @@ echo "== loadtest smoke (fleet harness + aggregated metrics, -race) =="
 go test -race -count=1 -run 'TestLoadtestSmoke|TestLoadtestCmdJSON' \
     ./cmd/quicksand/
 
+echo "== fleet router smoke (sharded watchlist + failover + equivalence, -race) =="
+# The fleet tentpole under the race detector: the router's longest-
+# prefix-aware dispatch over real BGP sessions and the merged HTTP
+# surface, the shard-death failover guarantees (survivor continuity,
+# bounded redial, post-restart replay), the fleet-vs-batch alert
+# multiset equivalence at widths 1 and 4 (including more-specific
+# hijacks that must cross shard-hash boundaries), and the -fleet arms
+# of serve and loadtest.
+go test -race -count=1 -run 'TestRouterInprocAlerts|TestRouterBGPAndHTTP|TestFleetShardDeathFailover|TestFleetMatchesBatchMonitor|TestServeFleetSmoke|TestLoadtestFleetSmoke' \
+    ./internal/fleet/ ./internal/testkit/ ./cmd/quicksand/
+
 echo "== 73K topology smoke (generate + shard + delta recompile) =="
 # The full-Internet-scale path end to end: generate 73,000 ASes, compute
 # a small destination shard, run a couple of hijack trials, and drive
@@ -144,6 +159,7 @@ function floor(pkg) {
     if (pkg == "quicksand/cmd/bgpgen") return 50       # main() wiring untested
     if (pkg == "quicksand/cmd/torgen") return 50       # main() wiring untested
     if (pkg == "quicksand/internal/monitord") return 80 # daemon floor (required)
+    if (pkg == "quicksand/internal/fleet") return 80    # fleet router floor (required)
     if (pkg == "quicksand/internal/obs") return 80      # observability floor (required)
     if (pkg == "quicksand/internal/topology") return 90 # route-engine floor (required)
     if (pkg == "quicksand/internal/resilience") return 85 # resilience engine floor (required)
